@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the modules in :mod:`repro.experiments`, prints the same rows/series the
+paper reports, and asserts the *shape* of the result (who wins, by roughly
+what factor, where crossovers fall) — not absolute numbers, since the
+substrate is a simulator rather than the authors' testbed.
+
+The simulations are deterministic and heavy, so each benchmark runs with
+``rounds=1``; pytest-benchmark still records the wall time of regenerating
+each artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy, deterministic experiment exactly once under timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

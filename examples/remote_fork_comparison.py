@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Compare every remote-fork mechanism on one function (a mini Fig. 7).
+
+For the function given on the command line (default: bert), measures the
+cold-start path — restore latency, page-fault time, execution time, and
+the child's local memory — under Cold, LocalFork, CRIU-CXL, Mitosis-CXL,
+and CXLfork.
+
+Run:  python examples/remote_fork_comparison.py [function]
+"""
+
+import sys
+
+from repro.experiments.common import make_pod, measure_cold_start, prepare_parent
+from repro.experiments.fig7_performance import FIG7_MECHANISMS
+from repro.sim.units import MS
+
+
+def main() -> None:
+    function = sys.argv[1] if len(sys.argv) > 1 else "bert"
+    print(f"cold-starting {function!r} on a remote node, per mechanism:\n")
+    print(f"{'mechanism':<12} {'restore':>10} {'faults':>10} {'exec':>10} "
+          f"{'total':>10} {'local MB':>9}")
+    for mechanism in FIG7_MECHANISMS:
+        pod = make_pod()
+        parent = prepare_parent(pod, function)
+        m = measure_cold_start(pod, parent, mechanism)
+        print(
+            f"{mechanism:<12} {m.restore_ns / MS:>9.2f}ms {m.fault_ns / MS:>9.2f}ms "
+            f"{m.exec_ns / MS:>9.2f}ms {m.total_ns / MS:>9.2f}ms {m.local_mb:>9.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Drive CXLporter through a bursty serverless trace (a mini Fig. 10).
+
+Spins up a two-node pod, registers a handful of functions, pre-checkpoints
+them per the §5 protocol (A/D cleared after the first invocation,
+checkpoint at the 16th), then replays an Azure-shaped bursty trace under
+two autoscaler arms — CXLfork with dynamic tiering vs CRIU-CXL — and
+prints P50/P99 and where the starts came from.
+
+Run:  python examples/serverless_autoscaler.py
+"""
+
+from repro.cxl.topology import PodTopology
+from repro.faas.traces import TraceConfig, generate_trace, trace_stats
+from repro.os.fs.cxlfs import CxlFileSystem
+from repro.porter import CxlPorter, PorterConfig
+from repro.sim.units import GIB
+
+FUNCTIONS = ["float", "json", "chameleon", "cnn", "bert"]
+
+
+def run_arm(mechanism: str) -> None:
+    fabric, nodes = PodTopology.paper_testbed(
+        dram_bytes=6 * GIB, cxl_bytes=16 * GIB, cpu_count=16
+    ).build()
+    porter = CxlPorter(
+        nodes,
+        fabric,
+        config=PorterConfig(mechanism=mechanism),
+        cxlfs=CxlFileSystem(fabric) if mechanism == "criu-cxl" else None,
+    )
+    for fn in FUNCTIONS:
+        porter.register_function(fn)
+        porter.prewarm_and_checkpoint(fn)
+    trace = generate_trace(
+        TraceConfig(
+            total_rps=80,
+            duration_s=8,
+            seed=7,
+            functions=FUNCTIONS,
+            popularity_skew=0.7,
+            burst_factor=8.0,
+        )
+    )
+    metrics = porter.run(trace)
+    kinds = metrics.start_kind_counts()
+    print(f"\n== {mechanism} ==")
+    print(f"requests: {metrics.count()}  "
+          f"(warm {kinds.get('warm', 0)}, restored {kinds.get('restore', 0)}, "
+          f"cold {kinds.get('cold', 0)})")
+    print(f"P50 {metrics.p50_ms():8.1f} ms   P99 {metrics.p99_ms():8.1f} ms")
+    for fn in FUNCTIONS:
+        if metrics.count(fn):
+            print(f"  {fn:<10} P50 {metrics.p50_ms(fn):8.1f} ms   "
+                  f"P99 {metrics.p99_ms(fn):8.1f} ms")
+
+
+def main() -> None:
+    stats = trace_stats(
+        generate_trace(
+            TraceConfig(total_rps=80, duration_s=8, seed=7, functions=FUNCTIONS,
+                        popularity_skew=0.7, burst_factor=8.0)
+        )
+    )
+    print(f"trace: {stats['count']} requests at ~{stats['rps']:.0f} RPS")
+    for mechanism in ("cxlfork", "criu-cxl"):
+        run_arm(mechanism)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — a simulation-based reproduction of CXLfork (ASPLOS 2025).
+
+Public entry points:
+
+* :mod:`repro.cxl` — the CXL pod (fabric, device, latency model, topology)
+* :mod:`repro.os` — the simulated OS (page tables, VMAs, faults, kernel)
+* :mod:`repro.rfork` — remote-fork mechanisms (CXLfork, CRIU-CXL,
+  Mitosis-CXL, local fork, cold start)
+* :mod:`repro.tiering` — migrate-on-write / migrate-on-access / hybrid
+* :mod:`repro.faas` — serverless functions, containers, runtime, traces
+* :mod:`repro.porter` — the CXLporter autoscaler
+* :mod:`repro.experiments` — one module per paper figure/table
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,105 @@
+"""Command-line entry point: run any experiment by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig7
+    python -m repro run fig10 --fast
+    python -m repro report [--full] [-o report.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+#: Experiment name -> (module path, description).
+EXPERIMENTS = {
+    "table1": ("repro.experiments.table1", "Table 1: evaluation functions"),
+    "fig1": ("repro.experiments.fig1_footprint", "Fig. 1: footprint breakdown"),
+    "fig3": ("repro.experiments.fig3_motivation", "Fig. 3c: motivation on BERT"),
+    "fig6": ("repro.experiments.fig6_coldstart", "Fig. 6: cold-start anatomy"),
+    "fig7": ("repro.experiments.fig7_performance", "Fig. 7: rfork performance"),
+    "fig8": ("repro.experiments.fig8_tiering", "Fig. 8: tiering policies"),
+    "fig9": ("repro.experiments.fig9_sensitivity", "Fig. 9: latency sweep"),
+    "fig10": ("repro.experiments.fig10_porter", "Fig. 10: CXLporter"),
+    "checkpoint": ("repro.experiments.checkpoint_perf", "§7.1: checkpoint perf"),
+    "failure": ("repro.experiments.failure", "Extension: node failure"),
+    "scalability": ("repro.experiments.scalability", "Extension: bandwidth scaling"),
+    "keepalive": ("repro.experiments.keepalive_study", "Extension: keep-alive sweep"),
+    "density": ("repro.experiments.density", "Extension: instances per memory budget"),
+    "write-heavy": ("repro.experiments.write_heavy", "Extension: write-heavy workloads"),
+}
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_run(name: str, fast: bool) -> int:
+    entry = EXPERIMENTS.get(name)
+    if entry is None:
+        print(f"unknown experiment {name!r}; `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    module_path, _ = entry
+    import importlib
+
+    module = importlib.import_module(module_path)
+    if fast and name == "fig10":
+        from repro.experiments import fig10_porter
+
+        config = fig10_porter.Fig10Config(total_rps=80, duration_s=8)
+        rows = fig10_porter.run(config)
+        print(fig10_porter.format_rows([r for r in rows if r.function == "ALL"]))
+        for key, value in fig10_porter.summarize(rows).items():
+            print(f"{key:>40}: {value:.3f}")
+        return 0
+    module.main()
+    return 0
+
+
+def _cmd_report(full: bool, output: str | None) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(fast=not full)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CXLfork reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment name (see `list`)")
+    run_parser.add_argument("--fast", action="store_true",
+                            help="reduced scale where supported")
+    report_parser = sub.add_parser("report", help="generate the full report")
+    report_parser.add_argument("--full", action="store_true",
+                               help="full-scale sweeps (slow)")
+    report_parser.add_argument("-o", "--output", default=None,
+                               help="write the report to a file")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.fast)
+    if args.command == "report":
+        return _cmd_report(args.full, args.output)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

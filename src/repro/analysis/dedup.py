@@ -1,0 +1,82 @@
+"""Pod-wide deduplication accounting.
+
+CXLfork's memory story is cluster-level: read-only state lives once on the
+CXL device and is mapped by every clone on every node.  This module
+measures that from a live pod: how much local DRAM each node holds, how
+many CXL bytes each checkpoint serves, how many sharers each has, and what
+the same residency would have cost without sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.units import MIB
+
+
+@dataclass
+class DedupReport:
+    """A snapshot of pod-wide memory placement."""
+
+    local_bytes_per_node: dict = field(default_factory=dict)
+    #: Bytes on the device mapped by at least one process.
+    cxl_shared_bytes: int = 0
+    #: Sum over processes of the CXL bytes each maps (what private copies
+    #: would have cost in local DRAM).
+    cxl_mapped_total_bytes: int = 0
+    process_count: int = 0
+
+    @property
+    def dedup_saved_bytes(self) -> int:
+        """Local DRAM avoided by sharing instead of copying."""
+        return max(0, self.cxl_mapped_total_bytes - self.cxl_shared_bytes)
+
+    @property
+    def dedup_factor(self) -> float:
+        """Average number of sharers per shared byte (1.0 = no sharing)."""
+        if self.cxl_shared_bytes == 0:
+            return 1.0
+        return self.cxl_mapped_total_bytes / self.cxl_shared_bytes
+
+    def format(self) -> str:
+        lines = ["pod-wide memory placement:"]
+        for node, nbytes in sorted(self.local_bytes_per_node.items()):
+            lines.append(f"  {node:<8} local DRAM in use: {nbytes / MIB:10.1f} MiB")
+        lines.append(
+            f"  shared on CXL: {self.cxl_shared_bytes / MIB:10.1f} MiB, "
+            f"mapped {self.dedup_factor:.1f}x on average "
+            f"by {self.process_count} processes"
+        )
+        lines.append(
+            f"  deduplication saved {self.dedup_saved_bytes / MIB:10.1f} MiB "
+            f"of local DRAM"
+        )
+        return "\n".join(lines)
+
+
+def measure_dedup(nodes) -> DedupReport:
+    """Walk every live process on ``nodes`` and account placement.
+
+    The shared-bytes figure counts each mapped CXL frame once pod-wide;
+    the mapped-total counts it once per mapping process.
+    """
+    report = DedupReport()
+    shared_frames: set = set()
+    for node in nodes:
+        report.local_bytes_per_node[node.name] = node.dram_used_bytes
+        for task in node.kernel.tasks():
+            mapped_cxl = task.mm.cxl_mapped_pages()
+            if mapped_cxl == 0 and task.mm.mapped_pages() == 0:
+                continue
+            report.process_count += 1
+            report.cxl_mapped_total_bytes += mapped_cxl * 4096
+            if mapped_cxl:
+                from repro.cxl.device import CXL_FRAME_BASE
+
+                frames = task.mm.collect_frames(lambda f: f >= CXL_FRAME_BASE)
+                shared_frames.update(int(f) for f in frames)
+    report.cxl_shared_bytes = len(shared_frames) * 4096
+    return report
+
+
+__all__ = ["DedupReport", "measure_dedup"]

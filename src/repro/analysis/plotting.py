@@ -1,0 +1,96 @@
+"""Terminal plotting: ASCII bar charts and line series for the figures.
+
+The experiments print tables by default; these helpers render the same
+data approximately the way the paper's figures look — grouped bars per
+function (Figs. 1, 7, 8, 10) and per-function line series over a swept
+parameter (Fig. 9) — without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+#: Default bar-drawing width in characters.
+BAR_WIDTH = 44
+
+
+def ascii_bar_chart(
+    groups: "list[tuple[str, dict]]",
+    *,
+    width: int = BAR_WIDTH,
+    unit: str = "",
+    log_note: bool = False,
+) -> str:
+    """Grouped horizontal bars.
+
+    ``groups`` is ``[(group_label, {series_label: value, ...}), ...]`` —
+    e.g. one group per function with one bar per mechanism.  Bars are
+    scaled to the global maximum.
+    """
+    if not groups:
+        return "(no data)"
+    peak = max(
+        (value for _, series in groups for value in series.values() if value > 0),
+        default=1.0,
+    )
+    series_width = max(
+        (len(label) for _, series in groups for label in series), default=4
+    )
+    lines = []
+    if log_note:
+        lines.append(f"(bars scaled linearly to max={peak:.3g}{unit})")
+    for group_label, series in groups:
+        lines.append(f"{group_label}")
+        for label, value in series.items():
+            filled = int(round(width * value / peak)) if peak else 0
+            bar = "█" * max(filled, 1 if value > 0 else 0)
+            lines.append(
+                f"  {label:<{series_width}} |{bar:<{width}}| {value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: "list[float]",
+    series: "dict[str, list[float]]",
+    *,
+    width: int = 56,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Several y-series over shared x values, plotted as characters."""
+    if not xs or not series:
+        return "(no data)"
+    all_ys = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_ys), max(all_ys)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    x_lo, x_hi = min(xs), max(xs)
+    span = (x_hi - x_lo) or 1.0
+    for index, (name, ys) in enumerate(series.items()):
+        mark = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / span * (width - 1)))
+            row = int(round((hi - y) / (hi - lo) * (height - 1)))
+            grid[row][col] = mark
+    lines = [f"{hi:8.2f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<10.3g}{x_label:^{max(width - 20, 0)}}{x_hi:>10.3g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_bar_chart", "ascii_series", "BAR_WIDTH"]

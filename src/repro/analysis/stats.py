@@ -1,0 +1,42 @@
+"""Small statistics helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def geometric_mean(values: Iterable) -> float:
+    """Geometric mean of the positive entries (0.0 if none)."""
+    vals = [float(v) for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def percentile(values: Iterable, q: float) -> Optional[float]:
+    """The q-th percentile, or None for an empty input."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return None
+    return float(np.percentile(arr, q))
+
+
+def summary_stats(values: Iterable) -> dict:
+    """min / p50 / mean / p99 / max of a sample (empty dict if no data)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {}
+    return {
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "mean": float(arr.mean()),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+        "count": int(arr.size),
+    }
+
+
+__all__ = ["geometric_mean", "percentile", "summary_stats"]

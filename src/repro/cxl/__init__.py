@@ -1,0 +1,23 @@
+"""CXL fabric substrate.
+
+Models a CXL 3.0-style pod: every compute node has local DDR5 DRAM, and all
+nodes share a byte-addressable CXL memory device at cache-line granularity.
+The paper's platform (Sapphire Rapids host + Agilex-7 FPGA device, 391 ns
+round trip) is the default calibration; the latency model is parametric so
+the Fig. 9 sensitivity sweep is just a constructor argument.
+"""
+
+from repro.cxl.allocator import FrameAllocator, OutOfMemoryError
+from repro.cxl.device import CxlMemoryDevice
+from repro.cxl.fabric import CxlFabric
+from repro.cxl.latency import MemoryLatencyModel
+from repro.cxl.topology import PodTopology
+
+__all__ = [
+    "FrameAllocator",
+    "OutOfMemoryError",
+    "CxlMemoryDevice",
+    "CxlFabric",
+    "MemoryLatencyModel",
+    "PodTopology",
+]

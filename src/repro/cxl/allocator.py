@@ -1,0 +1,176 @@
+"""Physical frame allocator.
+
+Frames are global integers.  Each pool (one per node's DRAM, one for the CXL
+device) owns a disjoint range ``[base, base + capacity)``, so a frame number
+alone identifies where a page physically lives.  CXL frames carry per-frame
+reference counts because checkpoints are shared by many restored processes
+across nodes and are reclaimed only when the last sharer drops them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a pool cannot satisfy an allocation."""
+
+    def __init__(self, pool: "FrameAllocator", requested: int) -> None:
+        super().__init__(
+            f"pool {pool.name!r}: requested {requested} frames, "
+            f"only {pool.free_frames} free of {pool.capacity_frames}"
+        )
+        self.pool = pool
+        self.requested = requested
+
+
+class FrameAllocator:
+    """Bump-plus-free-list allocator over a frame range, with refcounts.
+
+    Allocation prefers the free list (reuse) and falls back to bumping the
+    high-water mark.  ``alloc_many``/``free_many`` are vectorized since the
+    simulator routinely moves hundreds of thousands of frames at once.
+    """
+
+    def __init__(self, name: str, base: int, capacity_frames: int) -> None:
+        if capacity_frames <= 0:
+            raise ValueError(f"pool {name!r} needs positive capacity")
+        if base < 0:
+            raise ValueError(f"pool {name!r} needs non-negative base")
+        self.name = name
+        self.base = int(base)
+        self.capacity_frames = int(capacity_frames)
+        #: Optional callback invoked on allocation failure: it receives the
+        #: shortfall in frames and returns True if it freed memory (the
+        #: allocation is retried once) — direct-reclaim, allocator-style.
+        self.pressure_handler = None
+        self._bump = 0  # next never-allocated local index
+        self._free: list[int] = []  # recycled local indices (LIFO)
+        # Refcounts grow lazily: pools are sized at up to 128 GiB (33M
+        # frames) and eagerly allocating that array would waste real memory.
+        self._refcount = np.zeros(min(capacity_frames, 4096), dtype=np.int32)
+        self._allocated = 0
+
+    def _ensure_refcount_capacity(self, limit: int) -> None:
+        if limit <= self._refcount.size:
+            return
+        new_size = max(limit, self._refcount.size * 2)
+        new_size = min(new_size, self.capacity_frames)
+        grown = np.zeros(new_size, dtype=np.int32)
+        grown[: self._refcount.size] = self._refcount
+        self._refcount = grown
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def limit(self) -> int:
+        """One past the largest frame number this pool can hand out."""
+        return self.base + self.capacity_frames
+
+    @property
+    def allocated_frames(self) -> int:
+        return self._allocated
+
+    @property
+    def free_frames(self) -> int:
+        return self.capacity_frames - self._allocated
+
+    @property
+    def used_bytes(self) -> int:
+        from repro.sim.units import pages_to_bytes
+
+        return pages_to_bytes(self._allocated)
+
+    def owns(self, frame: int) -> bool:
+        return self.base <= frame < self.limit
+
+    def refcount(self, frame: int) -> int:
+        return int(self._refcount[self._index(frame)])
+
+    def _index(self, frame: int) -> int:
+        if not self.owns(frame):
+            raise ValueError(f"frame {frame} not owned by pool {self.name!r}")
+        return frame - self.base
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self) -> int:
+        """Allocate one frame (refcount 1)."""
+        return int(self.alloc_many(1)[0])
+
+    def alloc_many(self, count: int) -> np.ndarray:
+        """Allocate ``count`` frames; returns their global frame numbers."""
+        if count < 0:
+            raise ValueError(f"negative allocation: {count}")
+        if count > self.free_frames:
+            handler = self.pressure_handler
+            if handler is not None:
+                self.pressure_handler = None  # no reentrant reclaim
+                try:
+                    handler(count - self.free_frames)
+                finally:
+                    self.pressure_handler = handler
+            if count > self.free_frames:
+                raise OutOfMemoryError(self, count)
+        reuse = min(count, len(self._free))
+        frames = np.empty(count, dtype=np.int64)
+        if reuse:
+            recycled = self._free[len(self._free) - reuse :]
+            del self._free[len(self._free) - reuse :]
+            frames[:reuse] = recycled
+        fresh = count - reuse
+        if fresh:
+            frames[reuse:] = np.arange(self._bump, self._bump + fresh, dtype=np.int64)
+            self._bump += fresh
+        self._ensure_refcount_capacity(self._bump)
+        self._refcount[frames] = 1
+        self._allocated += count
+        frames += self.base
+        return frames
+
+    # -- sharing -------------------------------------------------------------
+
+    def get(self, frames: "np.ndarray | Iterable[int] | int") -> None:
+        """Increment refcounts (a new sharer mapped these frames)."""
+        idx = self._indices(frames)
+        if np.any(self._refcount[idx] <= 0):
+            raise ValueError(f"pool {self.name!r}: get() on unallocated frame")
+        self._refcount[idx] += 1
+
+    def put(self, frames: "np.ndarray | Iterable[int] | int") -> int:
+        """Decrement refcounts; frees frames that reach zero.
+
+        Returns the number of frames actually freed.
+        """
+        idx = self._indices(frames)
+        if np.any(self._refcount[idx] <= 0):
+            raise ValueError(f"pool {self.name!r}: put() on unallocated frame")
+        self._refcount[idx] -= 1
+        dead = idx[self._refcount[idx] == 0]
+        if dead.size:
+            self._free.extend(int(i) for i in dead)
+            self._allocated -= int(dead.size)
+        return int(dead.size)
+
+    def free_many(self, frames: "np.ndarray | Iterable[int]") -> int:
+        """Alias of :meth:`put` for the common single-owner case."""
+        return self.put(frames)
+
+    def _indices(self, frames) -> np.ndarray:
+        arr = np.atleast_1d(np.asarray(frames, dtype=np.int64))
+        if arr.size == 0:
+            return arr
+        if arr.min() < self.base or arr.max() >= self.limit:
+            raise ValueError(f"frames outside pool {self.name!r}")
+        return arr - self.base
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FrameAllocator(name={self.name!r}, base={self.base}, "
+            f"allocated={self._allocated}/{self.capacity_frames})"
+        )
+
+
+__all__ = ["FrameAllocator", "OutOfMemoryError"]

@@ -1,0 +1,69 @@
+"""CXL fabric bandwidth contention (extension of §8).
+
+The paper's tiering policies are driven purely by *latency*; §8 anticipates
+that "in a large cluster, limited CXL bandwidth may be a bottleneck" and
+plans bandwidth-aware tiering as future work.  This module provides the
+substrate: a tracker of offered load on the shared device and a simple
+queueing-style inflation of effective access latency as utilization rises.
+
+The model is deliberately coarse — an M/M/1-flavoured ``1 / (1 - ρ)``
+inflation, capped — because the experiments only need the qualitative
+effect: many nodes hammering shared read-only state slow each other down,
+unless a policy moves hot data off the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BandwidthTracker:
+    """Offered load vs capacity on the shared CXL device."""
+
+    #: Sustained read bandwidth of the device shared by all nodes.  The
+    #: paper's FPGA prototype sits in the single-digit GB/s range.
+    capacity_gbps: float = 8.0
+    #: Utilization above which inflation is clamped (queueing model sanity).
+    max_utilization: float = 0.95
+    _streams: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise ValueError(f"capacity must be positive: {self.capacity_gbps}")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError(f"bad utilization cap: {self.max_utilization}")
+
+    # -- load registration -----------------------------------------------------
+
+    def register_stream(self, name: str, gbps: float) -> None:
+        """Declare (or update) one consumer's average CXL traffic."""
+        if gbps < 0:
+            raise ValueError(f"negative traffic: {gbps}")
+        self._streams[name] = gbps
+
+    def unregister_stream(self, name: str) -> None:
+        self._streams.pop(name, None)
+
+    def clear(self) -> None:
+        self._streams.clear()
+
+    @property
+    def offered_gbps(self) -> float:
+        return sum(self._streams.values())
+
+    def utilization(self) -> float:
+        return min(self.offered_gbps / self.capacity_gbps, self.max_utilization)
+
+    # -- the effect -----------------------------------------------------------------
+
+    def inflation(self) -> float:
+        """Multiplier on effective CXL access latency under contention.
+
+        1.0 when idle; grows as 1/(1-ρ); capped at the utilization limit
+        (20x at the default 0.95 cap).
+        """
+        return 1.0 / (1.0 - self.utilization())
+
+
+__all__ = ["BandwidthTracker"]

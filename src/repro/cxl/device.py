@@ -1,0 +1,77 @@
+"""CXL memory device model.
+
+Default parameters mirror the paper's Agilex-7 FPGA prototype: a 16 GiB
+DDR4 DIMM behind a CXL endpoint with a 391 ns average round trip from a
+host core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cxl.allocator import FrameAllocator
+from repro.cxl.latency import MemoryLatencyModel
+from repro.sim.units import GIB, bytes_to_pages
+
+#: Frame numbers at or above this base live on the CXL device.  Keeping CXL
+#: frames in a disjoint numeric range means a bare frame number is enough to
+#: know which tier a page occupies (the same trick Linux plays with a
+#: CPU-less NUMA node's PFN range).
+CXL_FRAME_BASE = 1 << 40
+
+
+@dataclass
+class CxlDeviceSpec:
+    """Static description of a CXL memory device."""
+
+    capacity_bytes: int = 16 * GIB
+    latency: MemoryLatencyModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.latency is None:
+            self.latency = MemoryLatencyModel()
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"device capacity must be positive: {self.capacity_bytes}")
+
+
+class CxlMemoryDevice:
+    """A pooled, shared CXL memory device.
+
+    Owns the global CXL frame allocator.  All nodes in the pod allocate from
+    and map the same frame range, which is what makes checkpoints shareable.
+    """
+
+    def __init__(self, spec: CxlDeviceSpec | None = None) -> None:
+        self.spec = spec or CxlDeviceSpec()
+        capacity_frames = bytes_to_pages(self.spec.capacity_bytes)
+        self.frames = FrameAllocator("cxl", CXL_FRAME_BASE, capacity_frames)
+
+    @property
+    def latency(self) -> MemoryLatencyModel:
+        return self.spec.latency
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self.frames.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CxlMemoryDevice(capacity={self.capacity_bytes >> 30} GiB, "
+            f"used={self.used_bytes >> 20} MiB)"
+        )
+
+
+def is_cxl_frame(frame: int) -> bool:
+    """True if ``frame`` lives on the CXL device (vs node-local DRAM)."""
+    return frame >= CXL_FRAME_BASE
+
+
+__all__ = ["CxlDeviceSpec", "CxlMemoryDevice", "CXL_FRAME_BASE", "is_cxl_frame"]

@@ -1,0 +1,81 @@
+"""Pod topology: how many nodes, how much DRAM each, one shared CXL device.
+
+The paper's testbed is a two-node pod (two VMs pinned to the two sockets of
+a Sapphire Rapids host) with 128 GiB local DRAM per node and a 16 GiB CXL
+device.  ``PodTopology.build()`` constructs that by default; experiments can
+scale node count, DRAM, and CXL capacity freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cxl.device import CxlDeviceSpec, CxlMemoryDevice
+from repro.cxl.fabric import CxlFabric
+from repro.cxl.latency import MemoryLatencyModel
+from repro.sim.units import GIB, MIB
+
+
+@dataclass
+class NodeSpec:
+    """Static description of one compute node."""
+
+    name: str
+    dram_bytes: int = 128 * GIB
+    l3_cache_bytes: int = 64 * MIB
+    cpu_count: int = 32
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0:
+            raise ValueError(f"node {self.name!r}: DRAM must be positive")
+        if self.cpu_count <= 0:
+            raise ValueError(f"node {self.name!r}: need at least one CPU")
+
+
+@dataclass
+class PodTopology:
+    """A pod: a list of node specs plus one CXL device spec."""
+
+    nodes: list = field(default_factory=list)
+    device: CxlDeviceSpec = field(default_factory=CxlDeviceSpec)
+
+    @classmethod
+    def paper_testbed(
+        cls,
+        *,
+        node_count: int = 2,
+        dram_bytes: int = 128 * GIB,
+        cxl_bytes: int = 16 * GIB,
+        latency: Optional[MemoryLatencyModel] = None,
+        l3_cache_bytes: int = 64 * MIB,
+        cpu_count: int = 32,
+    ) -> "PodTopology":
+        """The ASPLOS'25 testbed shape, optionally rescaled."""
+        specs = [
+            NodeSpec(
+                name=f"node{i}",
+                dram_bytes=dram_bytes,
+                l3_cache_bytes=l3_cache_bytes,
+                cpu_count=cpu_count,
+            )
+            for i in range(node_count)
+        ]
+        device = CxlDeviceSpec(capacity_bytes=cxl_bytes, latency=latency)
+        return cls(nodes=specs, device=device)
+
+    def build(self):
+        """Instantiate the fabric and the compute nodes.
+
+        Returns ``(fabric, [ComputeNode, ...])``.  Imported lazily to avoid
+        a package cycle (nodes depend on the OS model which depends on the
+        fabric).
+        """
+        from repro.os.node import ComputeNode
+
+        fabric = CxlFabric(CxlMemoryDevice(self.device))
+        nodes = [ComputeNode(spec, fabric, node_id=i) for i, spec in enumerate(self.nodes)]
+        return fabric, nodes
+
+
+__all__ = ["NodeSpec", "PodTopology"]

@@ -1,0 +1,87 @@
+"""Extension experiment: surviving a node failure (§3.1's argument).
+
+The paper motivates decoupling checkpoints from the OS instance that
+created them: with Mitosis, "the node where the parent process and the
+checkpoint reside acts as a point of failure"; CXLfork's checkpoint lives
+on the shared CXL device and any surviving node can keep cloning from it
+(CRIU's file images on the in-CXL FS survive too — just slowly).
+
+This experiment checkpoints a function with each mechanism, *crashes the
+source node*, and then tries to restore on the survivor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import make_pod, prepare_parent
+from repro.os.kernel import NodeFailedError
+from repro.rfork.registry import get_mechanism
+from repro.sim.units import MS
+
+
+@dataclass
+class FailureRow:
+    """Outcome of restoring after the source node crashed."""
+
+    mechanism: str
+    survived: bool
+    restore_ms: float  # 0 when the checkpoint was lost
+    detail: str
+
+
+def run(function: str = "json") -> list:
+    rows: list[FailureRow] = []
+    for mech_name in ("cxlfork", "criu-cxl", "mitosis-cxl"):
+        pod = make_pod()
+        parent = prepare_parent(pod, function)
+        mech = get_mechanism(mech_name, fabric=pod.fabric, cxlfs=pod.cxlfs)
+        checkpoint, _ = mech.checkpoint(parent.instance.task)
+
+        killed = pod.source.fail()
+        assert killed >= 1  # the parent died with its node
+
+        try:
+            result = mech.restore(checkpoint, pod.target)
+            invocation = parent.workload.invoke(
+                parent.workload.placed_plan_for(parent.instance, result.task)
+            )
+            rows.append(
+                FailureRow(
+                    mechanism=mech_name,
+                    survived=True,
+                    restore_ms=result.metrics.latency_ns / MS,
+                    detail=(
+                        f"clone ran an invocation in "
+                        f"{invocation.wall_ns / MS:.1f} ms on the survivor"
+                    ),
+                )
+            )
+        except NodeFailedError as exc:
+            rows.append(
+                FailureRow(
+                    mechanism=mech_name,
+                    survived=False,
+                    restore_ms=0.0,
+                    detail=str(exc),
+                )
+            )
+    return rows
+
+
+def format_rows(rows: list) -> str:
+    lines = [f"{'mechanism':<12} {'survived':<9} {'restore(ms)':>12}  detail"]
+    for row in rows:
+        lines.append(
+            f"{row.mechanism:<12} {str(row.survived):<9} "
+            f"{row.restore_ms:>12.2f}  {row.detail}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_rows(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

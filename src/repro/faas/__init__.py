@@ -1,0 +1,32 @@
+"""Serverless substrate: functions, containers, runtime, traces.
+
+:data:`~repro.faas.functions.TABLE1` carries the paper's ten evaluation
+functions with their measured footprints; :mod:`repro.faas.profiles` turns a
+spec into a concrete address-space plan (libraries, init data, read-only
+data, read/write data); :mod:`repro.faas.invocation` executes invocations
+against the simulated kernel, producing faults, cache misses, and virtual
+time.
+"""
+
+from repro.faas.container import Container, ContainerFactory, GhostContainer
+from repro.faas.functions import TABLE1, FunctionSpec, get_function, function_names
+from repro.faas.invocation import InvocationEngine, InvocationResult
+from repro.faas.profiles import MemoryPlan, Segment, SegmentRole, build_plan
+from repro.faas.workload import FunctionWorkload
+
+__all__ = [
+    "Container",
+    "ContainerFactory",
+    "GhostContainer",
+    "TABLE1",
+    "FunctionSpec",
+    "get_function",
+    "function_names",
+    "InvocationEngine",
+    "InvocationResult",
+    "MemoryPlan",
+    "Segment",
+    "SegmentRole",
+    "build_plan",
+    "FunctionWorkload",
+]

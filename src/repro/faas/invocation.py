@@ -1,0 +1,206 @@
+"""The invocation execution engine.
+
+Running one invocation of a function against a (possibly just-restored)
+process consists of:
+
+1. **Touching the working set** — for each planned segment, a deterministic
+   subset (the segment's ``touch_frac``) of pages is accessed; reads for
+   INIT/READ_ONLY segments, writes for READ_WRITE.  This drives the kernel's
+   vectorized fault path: CoW migrations, MoA copies, file faults, leaf CoW,
+   and A/D-bit updates all happen here.
+2. **Charging memory-access time** — first touches of pages whose data was
+   not just copied (copies land in cache) miss the hardware caches and pay
+   the tier's latency; re-references miss according to the working-set
+   capacity model and pay the latency of whichever tier each page resides
+   on after step 1.  This is where CXL-resident read-only data costs time.
+3. **Compute** — the function's fixed CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faas.profiles import MemoryPlan, Segment, SegmentRole
+from repro.os.kernel import FaultStats
+from repro.os.mm.faults import FaultKind
+from repro.os.proc.task import Task
+from repro.sim.units import PAGE_SIZE
+
+#: Fault kinds that leave the page's data warm in the cache.
+_WARMING_KINDS = (
+    FaultKind.ANON_ZERO,
+    FaultKind.FILE_MINOR,
+    FaultKind.FILE_MAJOR,
+    FaultKind.COW_LOCAL,
+    FaultKind.COW_CXL,
+    FaultKind.MOA_COPY,
+    FaultKind.MITOSIS_REMOTE,
+)
+
+
+@dataclass
+class InvocationResult:
+    """Timing and behaviour of one invocation."""
+
+    wall_ns: float = 0.0
+    compute_ns: float = 0.0
+    fault_ns: float = 0.0
+    access_ns: float = 0.0
+    fault_stats: FaultStats = field(default_factory=FaultStats)
+    touched_pages: int = 0
+    touched_local: int = 0
+    touched_cxl: int = 0
+    first_touch_misses: int = 0
+    reaccess_misses: int = 0
+
+    @property
+    def cxl_fraction(self) -> float:
+        total = self.touched_local + self.touched_cxl
+        return self.touched_cxl / total if total else 0.0
+
+
+#: Share of each invocation's working set that is the same every time (the
+#: hot core A-bit tiering predicts); the rest is an input-dependent tail
+#: that rotates with the invocation index.
+STABLE_CORE_FRAC = 0.8
+#: The tail rotates within a window this many times the tail size, so the
+#: union of pages touched across many invocations stays bounded (Fig. 1:
+#: most Init pages are *never* read in 128 invocations).
+TAIL_WINDOW_FACTOR = 4
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=4096)
+def _mask_core(npages: int, count: int, stable_frac: float):
+    """Cached per-(segment, fraction) pieces: the stable-core mask and the
+    tail window (positions the rotating tail draws from)."""
+    mask = np.zeros(npages, dtype=bool)
+    core = int(round(count * stable_frac))
+    if core > 0:
+        mask[np.linspace(0, npages - 1, core).astype(np.int64)] = True
+    tail = count - int(np.count_nonzero(mask))
+    window = np.empty(0, dtype=np.int64)
+    if tail > 0:
+        remaining = np.nonzero(~mask)[0]
+        window = remaining[: min(remaining.size, tail * TAIL_WINDOW_FACTOR)]
+    mask.setflags(write=False)
+    window.setflags(write=False)
+    return mask, tail, window
+
+
+def touch_mask(
+    npages: int,
+    frac: float,
+    invocation_index: int = 0,
+    stable_frac: float = STABLE_CORE_FRAC,
+) -> np.ndarray:
+    """A deterministic boolean mask selecting ~``frac`` of ``npages``.
+
+    ``stable_frac`` of the selection is identical across invocations (the
+    hot working set the checkpointed A bits capture); the remainder rotates
+    deterministically with ``invocation_index`` (each request's different
+    input — the paper invokes each function "with a different input in each
+    request", §2.2).
+    """
+    if npages <= 0:
+        return np.zeros(0, dtype=bool)
+    count = min(int(round(npages * frac)), npages)
+    if count == 0:
+        return np.zeros(npages, dtype=bool)
+    core_mask, tail, window = _mask_core(npages, count, stable_frac)
+    mask = core_mask.copy()
+    n = window.size
+    if tail > 0 and n > 0:
+        # A coprime stride makes the picks a permutation prefix, so any two
+        # invocations overlap only partially (different inputs share some
+        # but not all of their tails).
+        step = 1 + 2 * (invocation_index % 8)
+        while _gcd(step, n) != 1:
+            step += 2
+        start = (invocation_index * 2654435761) % n
+        picks = window[(start + np.arange(min(tail, n)) * step) % n]
+        mask[picks] = True
+    return mask
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+class InvocationEngine:
+    """Executes invocations on the simulated kernel + cache."""
+
+    def run(
+        self, task: Task, plan: MemoryPlan, invocation_index: int = 0
+    ) -> InvocationResult:
+        spec = plan.spec
+        node = task.node
+        kernel = task.kernel
+        latency = node.fabric.latency
+        result = InvocationResult()
+
+        # Pass 1: drive faults / page-state transitions segment by segment.
+        seg_masks: list[tuple[Segment, np.ndarray, FaultStats]] = []
+        for seg in plan.segments:
+            if not seg.placed:
+                raise ValueError(f"segment {seg.label!r} was never placed")
+            mask = touch_mask(seg.npages, seg.touch_frac, invocation_index)
+            if not np.any(mask):
+                continue
+            write = seg.role is SegmentRole.READ_WRITE
+            stats = kernel.access_range(
+                task, seg.start_vpn, seg.npages, write=write, touched_mask=mask
+            )
+            result.fault_stats.merge(stats)
+            seg_masks.append((seg, mask, stats))
+        result.fault_ns = result.fault_stats.cost_ns
+
+        # Pass 2: memory-access time from the post-fault page placement.
+        total_touched = sum(int(np.count_nonzero(m)) for _, m, _ in seg_masks)
+        result.touched_pages = total_touched
+        ws_bytes = total_touched * PAGE_SIZE
+        miss_frac = node.cache.rereference_miss_fraction(ws_bytes)
+
+        # Shared-fabric contention inflates effective CXL access latency
+        # (1.0 on an idle fabric; see repro.cxl.bandwidth).
+        contention = node.fabric.contention_factor()
+        access_ns = 0.0
+        for seg, mask, stats in seg_masks:
+            n_cxl = stats.touched_cxl
+            n_local = stats.touched_local
+            n_touched = n_cxl + n_local
+            result.touched_local += n_local
+            result.touched_cxl += n_cxl
+
+            # First touches: pages just copied by a fault are cache-warm.
+            warmed = sum(stats.count(kind) for kind in _WARMING_KINDS)
+            cold_first = max(0, n_touched - warmed)
+            frac_cxl = n_cxl / n_touched if n_touched else 0.0
+            ft_cxl = cold_first * frac_cxl
+            ft_local = cold_first - ft_cxl
+            result.first_touch_misses += cold_first
+
+            # Re-references miss per the cache capacity model.
+            reaccesses = n_touched * spec.reaccess_per_page
+            re_misses = reaccesses * miss_frac
+            re_cxl = re_misses * frac_cxl
+            re_local = re_misses - re_cxl
+            result.reaccess_misses += int(re_misses)
+
+            access_ns += (ft_cxl + re_cxl) * latency.access_ns(cxl=True) * contention
+            access_ns += (ft_local + re_local) * latency.access_ns(cxl=False)
+
+        result.access_ns = access_ns
+        result.compute_ns = spec.compute_ns
+        node.clock.advance(access_ns + result.compute_ns)
+        result.wall_ns = result.fault_ns + result.access_ns + result.compute_ns
+        return result
+
+
+__all__ = ["InvocationEngine", "InvocationResult", "touch_mask"]

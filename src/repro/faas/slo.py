@@ -1,0 +1,60 @@
+"""Per-function latency tracking against Service-Level Objectives.
+
+CXLporter monitors tail and average latency per function; when they
+approach the SLO it promotes the function from migrate-on-write to hybrid
+tiering (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SloTracker:
+    """Sliding-window latency tracker for one function."""
+
+    function: str
+    slo_ns: float
+    window: int = 64
+    _samples: list = field(default_factory=list)
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self._samples.append(latency_ns)
+        if len(self._samples) > self.window:
+            del self._samples[: len(self._samples) - self.window]
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self._samples:
+            return None
+        return float(np.percentile(self._samples, q))
+
+    def mean(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return float(np.mean(self._samples))
+
+    def violating(self, *, margin: float = 0.9) -> bool:
+        """True when latency is close to or over the SLO (§5).
+
+        ``margin`` scales the SLO: 0.9 means "within 10% of the objective
+        counts as close".  Uses P95 of the sliding window so a short burst
+        of slow requests triggers promotion.
+        """
+        if len(self._samples) < 8:
+            return False
+        p95 = self.percentile(95)
+        mean = self.mean()
+        return p95 >= self.slo_ns * margin or mean >= self.slo_ns * margin
+
+
+__all__ = ["SloTracker"]

@@ -1,0 +1,120 @@
+"""Azure-shaped invocation traces (§6.1).
+
+The paper replays Azure Functions production traces (Shahrad et al. 2020)
+at ~150 RPS.  We cannot ship those traces, so we generate arrivals with the
+properties the paper's experiments depend on:
+
+* heavy-tailed popularity — a few functions receive most invocations;
+* burstiness — each function alternates calm and burst phases (a two-state
+  modulated Poisson process), because CXLporter's value shows up exactly
+  when bursts force rapid scale-out (§7.2 "bursty functions");
+* determinism — a seed fully fixes the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.faas.functions import function_names
+from repro.sim.rng import SeedSequenceFactory
+from repro.sim.units import SEC
+
+
+@dataclass(frozen=True)
+class Request:
+    """One function invocation request."""
+
+    when: int  # arrival time, ns
+    function: str
+    request_id: int
+
+
+@dataclass
+class TraceConfig:
+    """Shape of the synthetic Azure-like trace."""
+
+    total_rps: float = 150.0
+    duration_s: float = 60.0
+    #: Zipf-ish popularity skew across functions (1.0 = proportional decay).
+    popularity_skew: float = 1.0
+    #: Mean calm/burst phase lengths.
+    calm_mean_s: float = 4.0
+    burst_mean_s: float = 1.0
+    #: Rate multiplier during a burst phase.
+    burst_factor: float = 6.0
+    seed: int = 42
+    functions: Optional[list] = None
+
+
+def popularity_weights(names: list, skew: float) -> np.ndarray:
+    """Zipf-like weights, normalized."""
+    ranks = np.arange(1, len(names) + 1, dtype=np.float64)
+    weights = 1.0 / ranks**skew
+    return weights / weights.sum()
+
+
+def generate_trace(config: TraceConfig) -> list:
+    """A time-sorted list of :class:`Request`."""
+    names = list(config.functions or function_names())
+    weights = popularity_weights(names, config.popularity_skew)
+    seeds = SeedSequenceFactory(config.seed)
+    horizon_ns = int(config.duration_s * SEC)
+
+    # Each function gets an independent modulated Poisson process whose
+    # *average* rate matches its popularity share of the total RPS.
+    requests: list[Request] = []
+    request_counter = 0
+    for name, weight in zip(names, weights):
+        stream = seeds.stream(f"trace:{name}")
+        base_rate = config.total_rps * float(weight)  # requests/second
+        # Average rate across phases: solve calm rate so the mixture hits
+        # base_rate given the burst factor and phase durations.
+        calm_share = config.calm_mean_s / (config.calm_mean_s + config.burst_mean_s)
+        mean_factor = calm_share + (1 - calm_share) * config.burst_factor
+        calm_rate = base_rate / mean_factor
+        now = 0.0
+        in_burst = False
+        phase_end = stream.exponential(config.calm_mean_s)
+        while now < config.duration_s:
+            rate = calm_rate * (config.burst_factor if in_burst else 1.0)
+            if rate <= 0:
+                break
+            gap = stream.exponential(1.0 / rate)
+            now += gap
+            while now >= phase_end:
+                in_burst = not in_burst
+                mean = config.burst_mean_s if in_burst else config.calm_mean_s
+                phase_end += stream.exponential(mean)
+            if now < config.duration_s:
+                requests.append(
+                    Request(
+                        when=int(now * SEC),
+                        function=name,
+                        request_id=request_counter,
+                    )
+                )
+                request_counter += 1
+    requests.sort(key=lambda r: (r.when, r.request_id))
+    return requests
+
+
+def trace_stats(requests: list) -> dict:
+    """Aggregate properties (used by tests and reports)."""
+    if not requests:
+        return {"count": 0, "rps": 0.0, "per_function": {}}
+    span_s = max(r.when for r in requests) / SEC or 1.0
+    per_function: dict[str, int] = {}
+    for request in requests:
+        per_function[request.function] = per_function.get(request.function, 0) + 1
+    return {
+        "count": len(requests),
+        "rps": len(requests) / span_s,
+        "per_function": per_function,
+    }
+
+
+__all__ = ["Request", "TraceConfig", "generate_trace", "trace_stats",
+           "popularity_weights"]

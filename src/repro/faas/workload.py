@@ -1,0 +1,171 @@
+"""Building and exercising function instances.
+
+:class:`FunctionWorkload` owns one function's plan and knows how to:
+
+* **build** a fresh instance on a node (cold start: map libraries through
+  the page cache, populate anonymous segments, open descriptors, charge the
+  state-initialization latency);
+* **season** an instance the way CXLporter does before checkpointing
+  (§5: clear A/D bits after the first invocation, run it warm so the
+  steady-state access pattern lands in the page-table bits);
+* hand a :class:`~repro.rfork.coldstart.Builder` to the cold-start
+  mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faas.functions import FunctionSpec, get_function
+from repro.faas.invocation import InvocationEngine, InvocationResult
+from repro.faas.profiles import MemoryPlan, SegmentKind, build_plan
+from repro.os.node import ComputeNode
+from repro.os.proc.task import Task
+from repro.tiering.hotness import reset_access_bits
+
+
+@dataclass
+class FunctionInstance:
+    """A built (or restored) function process plus its placed plan."""
+
+    task: Task
+    plan: MemoryPlan
+    spec: FunctionSpec
+    #: How many invocations this instance has served (selects each
+    #: invocation's input-dependent working-set tail).
+    invocations: int = 0
+
+    @property
+    def node(self) -> ComputeNode:
+        return self.task.node
+
+
+class FunctionWorkload:
+    """One Table-1 function: builder + invocation driver."""
+
+    #: Spacing between instances' invocation-index sequences, so each clone
+    #: sees its own input-dependent working-set tails.
+    _INSTANCE_STRIDE = 17
+
+    def __init__(self, spec: "FunctionSpec | str") -> None:
+        if isinstance(spec, str):
+            spec = get_function(spec)
+        self.spec = spec
+        self.plan = build_plan(spec)
+        self.engine = InvocationEngine()
+        self._instance_serial = 0
+
+    def _next_invocation_base(self) -> int:
+        self._instance_serial += 1
+        return self._instance_serial * self._INSTANCE_STRIDE
+
+    # -- building ---------------------------------------------------------------
+
+    def build_instance(
+        self,
+        node: ComputeNode,
+        *,
+        container: Optional[object] = None,
+        charge: bool = True,
+    ) -> FunctionInstance:
+        """Cold-build the function on ``node``; charges state-init time."""
+        kernel = node.kernel
+        task = kernel.spawn_task(self.spec.name, container=container)
+        placed = []
+        try:
+            for seg in self.plan.segments:
+                if seg.kind is SegmentKind.FILE:
+                    vma = kernel.map_file_region(
+                        task, seg.path, seg.npages, label=seg.label, populate=True
+                    )
+                else:
+                    vma = kernel.map_anon_region(
+                        task, seg.npages, label=seg.label, populate=True
+                    )
+                placed.append(seg.at(vma.start_vpn))
+        except BaseException:
+            kernel.exit_task(task)  # half-built instances must not leak
+            raise
+        for i in range(self.spec.fd_count):
+            path = f"/var/run/{self.spec.name}/fd{i}"
+            inode = node.rootfs.ensure(path)
+            task.fdtable.open(path, inode=inode.ino)
+        if charge:
+            node.clock.advance(self.spec.state_init_ns)
+        plan = MemoryPlan(spec=self.spec, segments=tuple(placed))
+        return FunctionInstance(
+            task=task,
+            plan=plan,
+            spec=self.spec,
+            invocations=self._next_invocation_base(),
+        )
+
+    def placed_plan_for(self, instance: FunctionInstance, task: Task) -> FunctionInstance:
+        """Wrap a clone of ``instance`` (same layout) as a new instance.
+
+        The clone serves different requests than its parent, so it gets a
+        fresh invocation-index base (fresh working-set tails).
+        """
+        return self.instance_from_plan(instance.plan, task)
+
+    def instance_from_plan(self, plan: MemoryPlan, task: Task) -> FunctionInstance:
+        """Wrap a restored task whose layout matches an existing plan."""
+        return FunctionInstance(
+            task=task,
+            plan=plan,
+            spec=self.spec,
+            invocations=self._next_invocation_base(),
+        )
+
+    def builder(self):
+        """A :class:`~repro.rfork.coldstart.Builder` for this function.
+
+        The returned callable also stores the last built instance on
+        ``builder.last_instance`` so callers can retrieve the placed plan.
+        """
+
+        def build(node: ComputeNode, container) -> tuple:
+            instance = self.build_instance(node, container=container, charge=True)
+            build.last_instance = instance
+            return instance.task, self.spec.state_init_ns
+
+        build.last_instance = None
+        return build
+
+    # -- seasoning (CXLporter's checkpoint protocol, §5) ---------------------------
+
+    def season(
+        self,
+        instance: FunctionInstance,
+        *,
+        warm_invocations: int = 3,
+    ) -> InvocationResult:
+        """Reach the steady state CXLporter checkpoints from.
+
+        Clears the A/D bits set during initialization, then runs warm
+        invocations so the bits reflect the invocation-time access pattern
+        (hot read-only pages get A; written pages get A+D).  Returns the
+        last invocation's result.
+        """
+        if warm_invocations < 1:
+            raise ValueError("need at least one warm invocation")
+        node = instance.node
+        node.clock.advance(
+            reset_access_bits(instance.task.mm.pagetable, clear_dirty=True)
+        )
+        result = None
+        for _ in range(warm_invocations):
+            result = self.invoke(instance)
+        return result
+
+    # -- invoking --------------------------------------------------------------------
+
+    def invoke(self, instance: FunctionInstance) -> InvocationResult:
+        """Run one invocation."""
+        result = self.engine.run(instance.task, instance.plan, instance.invocations)
+        instance.invocations += 1
+        return result
+
+
+__all__ = ["FunctionWorkload", "FunctionInstance"]

@@ -1,0 +1,12 @@
+"""Simulated operating-system substrate.
+
+A faithful (structure-level) model of the Linux pieces CXLfork manipulates:
+4-level page tables with real PTE bits, a VMA tree with chunked leaves,
+fault handlers with calibrated costs, a task/process model, and a VFS with a
+shared root file system.  Time is virtual; structures are real.
+"""
+
+from repro.os.kernel import Kernel
+from repro.os.node import ComputeNode
+
+__all__ = ["Kernel", "ComputeNode"]

@@ -1,0 +1,6 @@
+"""File systems: the shared root FS and the in-CXL-memory FS for CRIU."""
+
+from repro.os.fs.cxlfs import CxlFile, CxlFileSystem
+from repro.os.fs.vfs import Inode, SharedRootFs
+
+__all__ = ["CxlFile", "CxlFileSystem", "Inode", "SharedRootFs"]

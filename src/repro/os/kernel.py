@@ -1,0 +1,815 @@
+"""Per-node kernel: process lifecycle, memory population, and page faults.
+
+The fault path is the load-bearing piece.  It is vectorized per page-table
+leaf (numpy masks over 512-entry PTE arrays) because the simulator routinely
+faults hundreds of thousands of pages per invocation, but the *semantics*
+are per-page and mirror Linux + the CXLfork patch:
+
+* writes to COW-marked present pages copy the page to local DRAM
+  (``COW_LOCAL`` / ``COW_CXL`` depending on where the source lives);
+* non-present pages in checkpoint-backed ranges are resolved by the
+  process's tiering policy (copy to local vs map the CXL frame in place);
+* non-present pages in ordinary VMAs follow anon/file fault rules through
+  the per-node page cache;
+* OS-level PTE updates to *shared* leaves (checkpoint-attached or forked)
+  first privatize the leaf — the PTE-leaf CoW of §4.2.1 — while
+  hardware-style A/D bit updates go through the shared leaf directly, which
+  is exactly what lets hybrid tiering harvest access bits pod-wide.
+
+Frame lifetime is uniformly refcounted: every mapping holds one reference
+(page cache holds its own), so fork/CoW/exit compose without special cases.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.os.mm.faults import DEFAULT_FAULT_COSTS, FaultCostModel, FaultKind
+from repro.os.mm.mmdesc import MemoryDescriptor
+from repro.os.mm.pagetable import PageTable, PteLeaf
+from repro.os.mm.pte import (
+    PTE_FRAME_SHIFT,
+    PteFlags,
+    make_ptes,
+    ptes_flag_mask,
+)
+from repro.os.mm.vma import Vma, VmaKind, VmaPerms
+from repro.os.proc.task import Task, TaskState
+from repro.sim.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.os.node import ComputeNode
+
+_PRESENT = np.int64(int(PteFlags.PRESENT))
+_WRITE = np.int64(int(PteFlags.WRITE))
+_ACCESSED = np.int64(int(PteFlags.ACCESSED))
+_DIRTY = np.int64(int(PteFlags.DIRTY))
+_COW = np.int64(int(PteFlags.COW))
+_CXL = np.int64(int(PteFlags.CXL))
+
+
+@dataclass
+class FaultStats:
+    """What a batch of memory accesses cost, by fault kind.
+
+    Also tallies where the touched pages ended up (local vs CXL) after all
+    transitions, so callers don't need a second page-table pass.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+    cost_ns: float = 0.0
+    touched_local: int = 0
+    touched_cxl: int = 0
+
+    def add(self, kind: FaultKind, n: int, cost_each_ns: float) -> None:
+        if n <= 0:
+            return
+        self.counts[kind] += n
+        self.cost_ns += n * cost_each_ns
+
+    def add_cost(self, ns: float) -> None:
+        self.cost_ns += ns
+
+    def merge(self, other: "FaultStats") -> "FaultStats":
+        self.counts.update(other.counts)
+        self.cost_ns += other.cost_ns
+        self.touched_local += other.touched_local
+        self.touched_cxl += other.touched_cxl
+        return self
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, kind: FaultKind) -> int:
+        return self.counts.get(kind, 0)
+
+
+@dataclass
+class CheckpointBacking:
+    """Links a restored address space to its CXL checkpoint and policy."""
+
+    checkpoint: Any  # exposes .pagetable (the checkpointed PageTable)
+    policy: Any  # tiering policy (see repro.tiering)
+    #: Whether mapped checkpoint frames are refcounted on the fabric
+    #: (True for CXL-resident checkpoints; False for Mitosis, whose
+    #: "checkpoint" lives in the parent node's private memory).
+    holds_frame_refs: bool = True
+
+
+class SegfaultError(RuntimeError):
+    """Access violated VMA permissions (test aid; real code would SIGSEGV)."""
+
+
+class NodeFailedError(RuntimeError):
+    """An operation targeted a crashed node, or state lost with one."""
+
+
+class Kernel:
+    """The OS instance of one compute node."""
+
+    def __init__(
+        self,
+        node: "ComputeNode",
+        fault_costs: Optional[FaultCostModel] = None,
+    ) -> None:
+        self.node = node
+        self.fault_costs = fault_costs or DEFAULT_FAULT_COSTS
+        self._tasks: dict[int, Task] = {}
+
+    # -- conveniences -----------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.node.clock
+
+    @property
+    def latency(self):
+        return self.node.fabric.latency
+
+    @property
+    def log(self):
+        return self.node.log
+
+    def fault_cost(self, kind: FaultKind, **kw) -> float:
+        return self.fault_costs.cost_ns(kind, self.latency, **kw)
+
+    def tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    # -- process lifecycle --------------------------------------------------------
+
+    def spawn_task(self, comm: str, *, container=None) -> Task:
+        """Create a fresh task (an execve'd process with an empty mm)."""
+        if getattr(self.node, "failed", False):
+            raise NodeFailedError(f"node {self.node.name!r} has failed")
+        namespaces = container.namespaces if container is not None else None
+        cgroup = container.cgroup if container is not None else None
+        from repro.os.proc.namespaces import NamespaceSet
+
+        ns = namespaces if namespaces is not None else NamespaceSet()
+        task = Task(
+            comm=comm,
+            kernel=self,
+            pid=ns.pid.alloc_pid(),
+            namespaces=ns,
+            cgroup=cgroup,
+        )
+        self._tasks[task.tid] = task
+        return task
+
+    def exit_task(self, task: Task) -> None:
+        """Tear down a task: unmap everything, drop all frame references."""
+        if task.state is TaskState.DEAD:
+            raise RuntimeError(f"double exit of {task}")
+        local_chunks: list[np.ndarray] = []
+        cxl_chunks: list[np.ndarray] = []
+        for _, leaf in task.mm.pagetable.leaves():
+            present = ptes_flag_mask(leaf.ptes, PteFlags.PRESENT)
+            if leaf.cxl_resident:
+                # Attached checkpoint leaf: we hold refs on its CXL frames
+                # (taken at attach time) but the leaf contents are not ours.
+                frames = (leaf.ptes[present] >> PTE_FRAME_SHIFT).astype(np.int64)
+                if frames.size:
+                    cxl_chunks.append(frames)
+                continue
+            frames = (leaf.ptes[present] >> PTE_FRAME_SHIFT).astype(np.int64)
+            if frames.size == 0:
+                continue
+            on_cxl = ptes_flag_mask(leaf.ptes[present], PteFlags.CXL)
+            if np.any(on_cxl):
+                cxl_chunks.append(frames[on_cxl])
+            local = frames[~on_cxl]
+            if local.size:
+                local_chunks.append(local)
+        backing = task.mm.ckpt_backing
+        holds_refs = backing is None or backing.holds_frame_refs
+        if cxl_chunks and holds_refs:
+            self.node.fabric.put_frames(np.concatenate(cxl_chunks))
+        if local_chunks:
+            self.node.dram.put(np.concatenate(local_chunks))
+        # Drop leaf references (attached checkpoint leaves stay alive for
+        # other sharers; private leaves are garbage collected with the task).
+        for leaf_index in list(task.mm.pagetable.leaf_indices()):
+            task.mm.pagetable.detach_leaf(leaf_index)
+        task.mm.vmas.detach_all()
+        if task.cgroup is not None:
+            task.cgroup.uncharge(task.mm.owned_local_pages * PAGE_SIZE)
+        task.mm.owned_local_pages = 0
+        task.state = TaskState.DEAD
+        self._tasks.pop(task.tid, None)
+
+    # -- memory population (cold-start construction) ----------------------------------
+
+    def alloc_local_frames(
+        self, mm: MemoryDescriptor, count: int, *, task: Optional[Task] = None
+    ) -> np.ndarray:
+        """Allocate local frames on behalf of an address space.
+
+        Charges the pages to the process's owned-memory accounting (the
+        Fig. 7b metric) and, when the owning task runs inside a cgroup with
+        a memory limit, to that cgroup — raising
+        :class:`~repro.cxl.allocator.OutOfMemoryError` on limit breach,
+        like the kernel's memcg charge path.
+        """
+        owner = task if task is not None else self._task_of(mm)
+        if owner is not None and owner.cgroup is not None:
+            if not owner.cgroup.charge(count * PAGE_SIZE):
+                from repro.cxl.allocator import OutOfMemoryError
+
+                raise OutOfMemoryError(self.node.dram, count)
+        frames = self.node.dram.alloc_many(count)
+        mm.owned_local_pages += count
+        return frames
+
+    def _task_of(self, mm: MemoryDescriptor) -> Optional[Task]:
+        for task in self._tasks.values():
+            if task.mm is mm:
+                return task
+        return None
+
+    # Backwards-compatible internal alias.
+    _alloc_local = alloc_local_frames
+
+    def map_anon_region(
+        self,
+        task: Task,
+        npages: int,
+        *,
+        label: str = "",
+        populate: bool = True,
+        flags: int = int(
+            PteFlags.PRESENT
+            | PteFlags.WRITE
+            | PteFlags.USER
+            | PteFlags.ACCESSED
+            | PteFlags.DIRTY
+        ),
+    ) -> Vma:
+        """mmap an anonymous RW region, optionally populating it eagerly.
+
+        Population models a function writing its state during init; the time
+        for that is part of the function's measured init latency, so no
+        fault costs are charged here.
+        """
+        vma = task.mm.add_vma(
+            npages, VmaPerms.READ | VmaPerms.WRITE, kind=VmaKind.ANON, label=label
+        )
+        if populate:
+            frames = self._alloc_local(task.mm, npages)
+            task.mm.pagetable.map_range(vma.start_vpn, frames, flags)
+        return vma
+
+    def map_file_region(
+        self,
+        task: Task,
+        path: str,
+        npages: int,
+        *,
+        writable: bool = False,
+        label: str = "",
+        populate: bool = True,
+    ) -> Vma:
+        """mmap a private file-backed region (library/runtime image)."""
+        perms = VmaPerms.READ | (VmaPerms.WRITE if writable else VmaPerms.NONE)
+        self.node.rootfs.ensure(path, size_bytes=npages * PAGE_SIZE)
+        vma = task.mm.add_vma(
+            npages,
+            perms,
+            kind=VmaKind.FILE_PRIVATE,
+            path=path,
+            label=label or f"map:{path}",
+        )
+        if populate:
+            _, frames = self.node.pagecache.ensure_range(path, 0, npages)
+            self.node.dram.get(frames)  # the mapping's reference
+            flags = PteFlags.PRESENT | PteFlags.USER | PteFlags.ACCESSED
+            if writable:
+                flags |= PteFlags.COW  # private file: first write copies
+            task.mm.pagetable.map_range(vma.start_vpn, frames, int(flags))
+        return vma
+
+    # -- address-space syscalls -------------------------------------------------------
+
+    #: Handler cost of an mprotect/munmap call (excluding leaf copies).
+    MPROTECT_BASE_NS = 1_500.0
+    MUNMAP_BASE_NS = 1_800.0
+
+    def mprotect(
+        self, task: Task, start_vpn: int, npages: int, perms: "VmaPerms"
+    ) -> FaultStats:
+        """Change protections on a whole-VMA-aligned range.
+
+        Splits the VMA as needed, rewrites PTE permission bits, and — when
+        the affected VMA/PTE leaves are checkpoint-attached — privatizes
+        them first (the §4.2.1 lazy-copy path, reached from the OS API
+        rather than a fault).
+        """
+        stats = FaultStats()
+        mm = task.mm
+        vma = mm.vmas.find(start_vpn)
+        if vma is None or start_vpn + npages > vma.end_vpn:
+            raise SegfaultError(f"mprotect outside a VMA at vpn {start_vpn}")
+        pos, _ = mm.vmas.find_leaf(start_vpn)
+        leaf, copied = mm.vmas.privatize_leaf(pos)
+        if copied:
+            stats.add(
+                FaultKind.VMA_LEAF_COW, 1, self.fault_cost(FaultKind.VMA_LEAF_COW)
+            )
+        from dataclasses import replace as dc_replace
+
+        pieces = []
+        target = vma
+        if start_vpn > vma.start_vpn:
+            head, target = target.split_at(start_vpn)
+            pieces.append(head)
+        if start_vpn + npages < target.end_vpn:
+            target, tail = target.split_at(start_vpn + npages)
+            pieces.append(tail)
+        changed = dc_replace(target, perms=perms)
+        mm.vmas.remove(vma)
+        for piece in pieces + [changed]:
+            mm.vmas.insert(piece)
+
+        # Rewrite hardware write permission on present PTEs.
+        writable = bool(perms & VmaPerms.WRITE)
+        flips = 0
+        for pleaf, leaf_index, sl, _ in mm.pagetable.iter_existing_range(
+            start_vpn, npages
+        ):
+            window = pleaf.ptes[sl]
+            present = (window & _PRESENT) != 0
+            if not present.any():
+                continue
+            if pleaf.shared:
+                pleaf = self._privatize_pte_leaf(task, leaf_index, stats)
+                window = pleaf.ptes[sl]
+                present = (window & _PRESENT) != 0
+            if writable:
+                # Writable again: CoW-marked pages stay CoW (they are
+                # shared); only plainly read-only private pages regain W.
+                mask = present & ((window & _COW) == 0) & ((window & _WRITE) == 0)
+                window[mask] |= _WRITE
+            else:
+                mask = present & ((window & _WRITE) != 0)
+                window[mask] &= ~_WRITE
+            flips += int(mask.sum())
+        if flips:
+            stats.add_cost(self.fault_costs.tlb.shootdown_cost_ns(flips, batched=True))
+        stats.add_cost(self.MPROTECT_BASE_NS)
+        self.clock.advance(stats.cost_ns)
+        return stats
+
+    def munmap(self, task: Task, vma: Vma) -> FaultStats:
+        """Unmap a whole VMA, releasing its frames."""
+        stats = FaultStats()
+        mm = task.mm
+        found = mm.vmas.find_leaf(vma.start_vpn)
+        if found is None:
+            raise SegfaultError(f"munmap of unmapped VMA at vpn {vma.start_vpn}")
+        pos, _ = found
+        leaf, copied = mm.vmas.privatize_leaf(pos)
+        if copied:
+            stats.add(
+                FaultKind.VMA_LEAF_COW, 1, self.fault_cost(FaultKind.VMA_LEAF_COW)
+            )
+        current = mm.vmas.find(vma.start_vpn)
+        mm.vmas.remove(current)
+
+        backing = mm.ckpt_backing
+        holds = backing is None or backing.holds_frame_refs
+        unmapped = 0
+        local_unmapped = 0
+        for pleaf, leaf_index, sl, _ in mm.pagetable.iter_existing_range(
+            current.start_vpn, current.npages
+        ):
+            window = pleaf.ptes[sl]
+            present = (window & _PRESENT) != 0
+            if not present.any():
+                continue
+            if pleaf.shared:
+                pleaf = self._privatize_pte_leaf(task, leaf_index, stats)
+                window = pleaf.ptes[sl]
+                present = (window & _PRESENT) != 0
+            frames = (window[present] >> PTE_FRAME_SHIFT).astype(np.int64)
+            on_cxl = (window[present] & _CXL) != 0
+            if on_cxl.any() and holds:
+                self.node.fabric.put_frames(frames[on_cxl])
+            local = frames[~on_cxl]
+            if local.size:
+                self.node.dram.put(local)
+                local_unmapped += int(local.size)
+            unmapped += int(present.sum())
+            window[present] = 0
+        if unmapped:
+            stats.add_cost(
+                self.fault_costs.tlb.shootdown_cost_ns(unmapped, batched=True)
+            )
+            # Approximation: page-cache frames among the unmapped local
+            # pages were never "owned", but the split is not tracked per
+            # page; clamping keeps the accounting sane.
+            released = min(mm.owned_local_pages, local_unmapped)
+            mm.owned_local_pages -= released
+            if task.cgroup is not None:
+                task.cgroup.uncharge(released * PAGE_SIZE)
+        stats.add_cost(self.MUNMAP_BASE_NS)
+        self.clock.advance(stats.cost_ns)
+        return stats
+
+    # -- local fork -----------------------------------------------------------------
+
+    #: Handler cost of duplicating one VMA struct during fork.
+    FORK_PER_VMA_NS = 300.0
+    #: Handler cost per page-table leaf beyond the data copy itself.
+    FORK_PER_LEAF_NS = 150.0
+
+    def local_fork(
+        self, parent: Task, *, lazy_file_pages: bool = True
+    ) -> tuple[Task, FaultStats]:
+        """Fork: duplicate the address space with CoW sharing.
+
+        ``lazy_file_pages`` models the zygote-style local fork the paper
+        compares against (§7.1): clean private file mappings (libraries) are
+        *not* carried into the child, which repopulates them lazily from the
+        page cache on first touch.
+        """
+        if getattr(self.node, "failed", False):
+            raise NodeFailedError(f"node {self.node.name!r} has failed")
+        if parent.state is TaskState.DEAD:
+            raise RuntimeError(f"cannot fork dead task {parent.comm!r}")
+        stats = FaultStats()
+        child = Task(
+            comm=parent.comm,
+            kernel=self,
+            pid=parent.namespaces.pid.alloc_pid(),
+            regs=parent.regs.copy(),
+            fdtable=parent.fdtable.copy(),
+            namespaces=parent.namespaces,
+            cgroup=parent.cgroup,
+            parent=parent,
+        )
+        self._tasks[child.tid] = child
+        child.mm.ckpt_backing = parent.mm.ckpt_backing
+
+        # Duplicate the VMA tree (child gets private copies of every leaf).
+        vma_count = 0
+        for leaf in parent.mm.vmas.leaves():
+            child.mm.vmas.attach_leaf(leaf)
+        for pos in range(child.mm.vmas.leaf_count):
+            child.mm.vmas.privatize_leaf(pos)
+        for vma in child.mm.vmas:
+            child.mm.note_range_used(vma.start_vpn, vma.npages)
+            vma_count += 1
+        stats.add_cost(vma_count * self.FORK_PER_VMA_NS)
+
+        # Duplicate page tables: copy each leaf, write-protect writable
+        # anon pages on both sides (CoW), and take mapping references.
+        leaf_copy_ns = self.latency.page_copy_ns(src_cxl=False, dst_cxl=False)
+        shootdowns = 0
+        for leaf_index, pleaf in list(parent.mm.pagetable.leaves()):
+            if pleaf.shared:
+                pleaf, copied = parent.mm.pagetable.privatize_leaf(leaf_index)
+                if copied:
+                    stats.add(FaultKind.PTE_LEAF_COW, 1, self.fault_cost(FaultKind.PTE_LEAF_COW))
+            ptes = pleaf.ptes
+            present = (ptes & _PRESENT) != 0
+            writable = present & ((ptes & _WRITE) != 0)
+            if np.any(writable):
+                ptes[writable] = (ptes[writable] & ~_WRITE) | _COW
+                shootdowns += int(np.count_nonzero(writable))
+            child_ptes = ptes.copy()
+            if lazy_file_pages:
+                # Clean, read-only, non-CoW, non-CXL mappings are private
+                # file pages: drop them from the child.
+                file_clean = (
+                    present
+                    & ((ptes & _WRITE) == 0)
+                    & ((ptes & _COW) == 0)
+                    & ((ptes & _DIRTY) == 0)
+                    & ((ptes & _CXL) == 0)
+                )
+                child_ptes[file_clean] = 0
+            child.mm.pagetable.install_leaf(leaf_index, PteLeaf(child_ptes))
+            child_present = (child_ptes & _PRESENT) != 0
+            frames = (child_ptes[child_present] >> PTE_FRAME_SHIFT).astype(np.int64)
+            if frames.size:
+                on_cxl = ptes_flag_mask(child_ptes[child_present], PteFlags.CXL)
+                backing = parent.mm.ckpt_backing
+                holds = backing is None or backing.holds_frame_refs
+                if np.any(on_cxl) and holds:
+                    self.node.fabric.get_frames(frames[on_cxl])
+                local = frames[~on_cxl]
+                if local.size:
+                    self.node.dram.get(local)
+            stats.add_cost(leaf_copy_ns + self.FORK_PER_LEAF_NS)
+        if shootdowns:
+            stats.add_cost(self.fault_costs.tlb.shootdown_cost_ns(shootdowns, batched=True))
+        self.clock.advance(stats.cost_ns)
+        self.log.emit(self.clock.now, "local_fork", parent=parent.pid, child=child.pid)
+        return child, stats
+
+    # -- the fault path ----------------------------------------------------------------
+
+    def handle_fault(self, task: Task, vpn: int, *, write: bool) -> FaultStats:
+        """Resolve a single access (test/fidelity path)."""
+        return self.access_range(task, vpn, 1, write=write)
+
+    def access_range(
+        self,
+        task: Task,
+        start_vpn: int,
+        npages: int,
+        *,
+        write: bool,
+        touched_mask: Optional[np.ndarray] = None,
+    ) -> FaultStats:
+        """Touch ``[start_vpn, start_vpn+npages)``, resolving faults.
+
+        ``touched_mask`` restricts the touch to a subset of the range (the
+        invocation engine samples working sets).  The range must lie within
+        one VMA.  Returns the fault statistics; virtual time is advanced.
+        """
+        vma = task.mm.vmas.find(start_vpn)
+        if vma is None or start_vpn + npages > vma.end_vpn:
+            raise SegfaultError(
+                f"{task.comm}/{task.pid}: access outside VMA at vpn {start_vpn}"
+            )
+        if write and not (vma.perms & VmaPerms.WRITE):
+            raise SegfaultError(
+                f"{task.comm}/{task.pid}: write to read-only VMA at vpn {start_vpn}"
+            )
+        stats = FaultStats()
+        offset = 0
+        for leaf, leaf_index, sl, vpn0 in task.mm.pagetable.iter_range(start_vpn, npages):
+            chunk_len = sl.stop - sl.start
+            if touched_mask is not None:
+                sub = touched_mask[offset : offset + chunk_len]
+            else:
+                sub = None
+            self._access_chunk(task, vma, leaf_index, sl, vpn0, sub, write, stats)
+            offset += chunk_len
+        self.clock.advance(stats.cost_ns)
+        return stats
+
+    def _privatize_pte_leaf(
+        self, task: Task, leaf_index: int, stats: FaultStats
+    ) -> PteLeaf:
+        leaf, copied = task.mm.pagetable.privatize_leaf(leaf_index)
+        if copied:
+            stats.add(FaultKind.PTE_LEAF_COW, 1, self.fault_cost(FaultKind.PTE_LEAF_COW))
+        return leaf
+
+    def _register_vma_files(self, task: Task, vma: Vma, stats: FaultStats) -> Vma:
+        """Lazily privatize the VMA leaf and register file callbacks (§4.2)."""
+        found = task.mm.vmas.find_leaf(vma.start_vpn)
+        if found is None:  # pragma: no cover - defensive
+            raise SegfaultError(f"VMA vanished at vpn {vma.start_vpn}")
+        pos, _ = found
+        leaf, _copied = task.mm.vmas.privatize_leaf(pos)
+        to_register = [
+            v for v in leaf.vmas if v.is_file_backed() and not v.file_registered
+        ]
+        stats.add(
+            FaultKind.VMA_LEAF_COW,
+            1,
+            self.fault_cost(FaultKind.VMA_LEAF_COW, file_vmas_to_register=len(to_register)),
+        )
+        replacement = None
+        from dataclasses import replace as dc_replace
+
+        for v in to_register:
+            new = dc_replace(v, file_registered=True)
+            task.mm.vmas.replace_vma(pos, v, new)
+            if v == vma:
+                replacement = new
+        return replacement if replacement is not None else vma
+
+    def _access_chunk(
+        self,
+        task: Task,
+        vma: Vma,
+        leaf_index: int,
+        sl: slice,
+        vpn0: int,
+        sub: Optional[np.ndarray],
+        write: bool,
+        stats: FaultStats,
+    ) -> None:
+        mm = task.mm
+        leaf = mm.pagetable.leaf(leaf_index)
+        ptes = leaf.ptes[sl]
+        if sub is None:
+            mask = np.ones(sl.stop - sl.start, dtype=bool)
+        else:
+            mask = sub.astype(bool, copy=False)
+            if not mask.any():
+                return
+        present = (ptes & _PRESENT) != 0
+        not_present = mask & ~present
+        any_np = bool(not_present.any())
+        if write:
+            cow_hits = mask & present & ((ptes & _COW) != 0)
+            any_cow = bool(cow_hits.any())
+        else:
+            cow_hits = None
+            any_cow = False
+
+        if (any_np or any_cow) and leaf.shared:
+            leaf = self._privatize_pte_leaf(task, leaf_index, stats)
+            ptes = leaf.ptes[sl]
+
+        # Hardware A/D updates happen regardless of faulting (and are legal
+        # on shared leaves — this is the §4.3 harvesting channel).
+        touched_present = mask & present
+        if touched_present.any():
+            ptes[touched_present] |= _ACCESSED
+            if write:
+                hw_writable = touched_present & ((ptes & _WRITE) != 0)
+                if hw_writable.any():
+                    ptes[hw_writable] |= _DIRTY
+
+        if any_cow:
+            self._do_cow(task, leaf, sl, cow_hits, stats)
+
+        if any_np:
+            self._do_not_present(task, vma, leaf, sl, vpn0, not_present, write, stats)
+
+        # Final placement tally for the touched pages of this chunk.
+        final = leaf.ptes[sl][mask]
+        n_cxl = int(((final & _CXL) != 0).sum())
+        stats.touched_cxl += n_cxl
+        stats.touched_local += int(mask.sum()) - n_cxl
+
+    # -- CoW ------------------------------------------------------------------------
+
+    def _do_cow(
+        self, task: Task, leaf: PteLeaf, sl: slice, cow_mask: np.ndarray, stats: FaultStats
+    ) -> None:
+        mm = task.mm
+        ptes = leaf.ptes[sl]
+        on_cxl = cow_mask & ((ptes & _CXL) != 0)
+        on_local = cow_mask & ~((ptes & _CXL) != 0)
+        total = int(np.count_nonzero(cow_mask))
+        new_frames = self._alloc_local(mm, total)
+        old_frames = (ptes[cow_mask] >> PTE_FRAME_SHIFT).astype(np.int64)
+        new_flags = (
+            PteFlags.PRESENT
+            | PteFlags.WRITE
+            | PteFlags.USER
+            | PteFlags.ACCESSED
+            | PteFlags.DIRTY
+        )
+        ptes[cow_mask] = make_ptes(new_frames, int(new_flags))
+        # Drop the mapping references on the source pages.
+        backing = mm.ckpt_backing
+        holds = backing is None or backing.holds_frame_refs
+        old_is_cxl = on_cxl[cow_mask]
+        if np.any(old_is_cxl) and holds:
+            self.node.fabric.put_frames(old_frames[old_is_cxl])
+        local_old = old_frames[~old_is_cxl]
+        if local_old.size:
+            self.node.dram.put(local_old)
+        n_cxl = int(np.count_nonzero(on_cxl))
+        n_local = total - n_cxl
+        stats.add(FaultKind.COW_CXL, n_cxl, self.fault_cost(FaultKind.COW_CXL))
+        stats.add(FaultKind.COW_LOCAL, n_local, self.fault_cost(FaultKind.COW_LOCAL))
+
+    # -- non-present resolution --------------------------------------------------------
+
+    def _do_not_present(
+        self,
+        task: Task,
+        vma: Vma,
+        leaf: PteLeaf,
+        sl: slice,
+        vpn0: int,
+        np_mask: np.ndarray,
+        write: bool,
+        stats: FaultStats,
+    ) -> None:
+        mm = task.mm
+        backing = mm.ckpt_backing
+        remaining = np_mask.copy()
+        if backing is not None:
+            ckpt_pt: PageTable = backing.checkpoint.pagetable
+            nvpn = sl.stop - sl.start
+            ckpt_ptes = ckpt_pt.gather_ptes(vpn0, nvpn)
+            covered = remaining & ((ckpt_ptes & _PRESENT) != 0)
+            if np.any(covered):
+                self._fault_from_checkpoint(
+                    task, leaf, sl, covered, ckpt_ptes, write, backing, stats
+                )
+                remaining &= ~covered
+        if not np.any(remaining):
+            return
+        if vma.kind is VmaKind.ANON:
+            self._fault_anon(task, leaf, sl, remaining, write, stats)
+            return
+        if vma.kind is VmaKind.FILE_PRIVATE:
+            if not vma.file_registered:
+                vma = self._register_vma_files(task, vma, stats)
+            self._fault_file(task, vma, leaf, sl, vpn0, remaining, write, stats)
+            return
+        raise SegfaultError(f"unsupported VMA kind for faulting: {vma.kind}")
+
+    def _fault_anon(
+        self,
+        task: Task,
+        leaf: PteLeaf,
+        sl: slice,
+        mask: np.ndarray,
+        write: bool,
+        stats: FaultStats,
+    ) -> None:
+        mm = task.mm
+        count = int(np.count_nonzero(mask))
+        frames = self._alloc_local(mm, count)
+        flags = PteFlags.PRESENT | PteFlags.WRITE | PteFlags.USER | PteFlags.ACCESSED
+        if write:
+            flags |= PteFlags.DIRTY
+        leaf.ptes[sl][mask] = make_ptes(frames, int(flags))
+        stats.add(FaultKind.ANON_ZERO, count, self.fault_cost(FaultKind.ANON_ZERO))
+
+    def _fault_file(
+        self,
+        task: Task,
+        vma: Vma,
+        leaf: PteLeaf,
+        sl: slice,
+        vpn0: int,
+        mask: np.ndarray,
+        write: bool,
+        stats: FaultStats,
+    ) -> None:
+        mm = task.mm
+        idx = np.nonzero(mask)[0]
+        vpns = vpn0 + idx
+        file_pages = vma.file_offset_pages + (vpns - vma.start_vpn)
+        newly, frames = self.node.pagecache.ensure_pages(vma.path, file_pages)
+        self.node.dram.get(frames)  # mapping references
+        mm.owned_local_pages += newly
+        flags = PteFlags.PRESENT | PteFlags.USER | PteFlags.ACCESSED
+        if vma.perms & VmaPerms.WRITE:
+            flags |= PteFlags.COW
+        leaf.ptes[sl][mask] = make_ptes(frames, int(flags))
+        minor = len(idx) - newly
+        stats.add(FaultKind.FILE_MAJOR, newly, self.fault_cost(FaultKind.FILE_MAJOR))
+        stats.add(FaultKind.FILE_MINOR, minor, self.fault_cost(FaultKind.FILE_MINOR))
+        if write:
+            # Private file write: the fresh mapping is COW; copy immediately.
+            sub = np.zeros_like(mask)
+            sub[idx] = True
+            self._do_cow(task, leaf, sl, sub, stats)
+
+    def _fault_from_checkpoint(
+        self,
+        task: Task,
+        leaf: PteLeaf,
+        sl: slice,
+        mask: np.ndarray,
+        ckpt_ptes: np.ndarray,
+        write: bool,
+        backing: CheckpointBacking,
+        stats: FaultStats,
+    ) -> None:
+        """MoA / hybrid-tiering resolution of checkpoint-covered pages."""
+        mm = task.mm
+        policy = backing.policy
+        a_bits = (ckpt_ptes & _ACCESSED) != 0
+        hot_bits = (ckpt_ptes & np.int64(int(PteFlags.HOT))) != 0
+        if write:
+            copy_mask = mask.copy()
+        else:
+            copy_mask = mask & policy.select_copy_on_read(a_bits, hot_bits)
+        map_mask = mask & ~copy_mask
+
+        if np.any(copy_mask):
+            count = int(np.count_nonzero(copy_mask))
+            frames = self._alloc_local(mm, count)
+            flags = PteFlags.PRESENT | PteFlags.WRITE | PteFlags.USER | PteFlags.ACCESSED
+            if write:
+                flags |= PteFlags.DIRTY
+            leaf.ptes[sl][copy_mask] = make_ptes(frames, int(flags))
+            kind = policy.copy_fault_kind
+            stats.add(kind, count, self.fault_cost(kind))
+        if np.any(map_mask):
+            count = int(np.count_nonzero(map_mask))
+            src_frames = (ckpt_ptes[map_mask] >> PTE_FRAME_SHIFT).astype(np.int64)
+            flags = (
+                PteFlags.PRESENT
+                | PteFlags.USER
+                | PteFlags.ACCESSED
+                | PteFlags.COW
+                | PteFlags.CXL
+            )
+            leaf.ptes[sl][map_mask] = make_ptes(src_frames, int(flags))
+            if backing.holds_frame_refs:
+                self.node.fabric.get_frames(src_frames)
+            stats.add(FaultKind.CXL_MAP, count, self.fault_cost(FaultKind.CXL_MAP))
+
+
+__all__ = ["Kernel", "FaultStats", "CheckpointBacking", "SegfaultError"]

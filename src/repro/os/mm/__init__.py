@@ -1,0 +1,22 @@
+"""Memory-management model: frames, PTEs, page tables, VMAs, faults, caches."""
+
+from repro.os.mm.cache import CacheModel
+from repro.os.mm.faults import FaultCostModel, FaultKind
+from repro.os.mm.mmdesc import MemoryDescriptor
+from repro.os.mm.pagetable import PageTable, PteLeaf
+from repro.os.mm.pte import PteFlags
+from repro.os.mm.vma import Vma, VmaKind, VmaLeaf, VmaTree
+
+__all__ = [
+    "CacheModel",
+    "FaultCostModel",
+    "FaultKind",
+    "MemoryDescriptor",
+    "PageTable",
+    "PteLeaf",
+    "PteFlags",
+    "Vma",
+    "VmaKind",
+    "VmaLeaf",
+    "VmaTree",
+]

@@ -1,0 +1,53 @@
+"""Hardware cache model.
+
+We model the node's last-level cache with a working-set capacity model: an
+execution phase that touches ``W`` bytes of data re-references it with a miss
+fraction of ``max(0, 1 - C_eff / W)`` where ``C_eff`` is the usable cache
+capacity.  First touches always miss (compulsory misses).
+
+This is deliberately simple — the paper's observation that "the working set
+of serverless functions is typically small [so] local hardware caches may
+intercept most requests" (§2.2) and that only BFS/Bert are hurt by CXL
+residency (§7.1) are both *capacity* phenomena, which this model captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import MIB
+
+
+@dataclass
+class CacheModel:
+    """Last-level cache of one node."""
+
+    capacity_bytes: int = 64 * MIB
+    #: Fraction of nominal capacity usable for one process's data (the rest
+    #: is lost to conflicts, other processes, metadata).
+    utilization: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"cache capacity must be positive: {self.capacity_bytes}")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError(f"utilization must be in (0, 1]: {self.utilization}")
+
+    @property
+    def effective_bytes(self) -> float:
+        return self.capacity_bytes * self.utilization
+
+    def fits(self, working_set_bytes: int) -> bool:
+        """Whether a working set is fully cache-resident."""
+        return working_set_bytes <= self.effective_bytes
+
+    def rereference_miss_fraction(self, working_set_bytes: int) -> float:
+        """Miss fraction of *re*-references to a working set of given size."""
+        if working_set_bytes < 0:
+            raise ValueError(f"negative working set: {working_set_bytes}")
+        if working_set_bytes == 0 or self.fits(working_set_bytes):
+            return 0.0
+        return 1.0 - self.effective_bytes / working_set_bytes
+
+
+__all__ = ["CacheModel"]

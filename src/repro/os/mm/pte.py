@@ -1,0 +1,114 @@
+"""Page-table entry encoding.
+
+A PTE is a single int64: the physical frame number shifted left by
+``PTE_FRAME_SHIFT`` with flag bits below.  The hardware-defined bits we model
+(PRESENT, WRITE, ACCESSED, DIRTY) follow x86-64 semantics; the software bits
+are the ones CXLfork's kernel patch introduces:
+
+* ``COW``    — write must copy (set on checkpointed/forked read-only data)
+* ``CXL``    — the mapped frame lives on the CXL device (derivable from the
+               frame number too, but kept as a bit so leaf scans are cheap)
+* ``HOT``    — user-declared hot page (§4.3, "User-Identified Hot Pages")
+* ``PIN``    — excluded from reclaim (checkpointed pages, §4.3)
+
+Vectorized helpers operate on whole numpy leaves at once.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+PTE_FRAME_SHIFT = 16
+
+
+class PteFlags(enum.IntFlag):
+    """Bit assignments for the low 16 bits of a PTE."""
+
+    NONE = 0
+    PRESENT = 1 << 0
+    WRITE = 1 << 1
+    USER = 1 << 2
+    ACCESSED = 1 << 5
+    DIRTY = 1 << 6
+    COW = 1 << 8
+    CXL = 1 << 9
+    HOT = 1 << 10
+    PIN = 1 << 11
+
+
+PTE_FLAG_MASK = (1 << PTE_FRAME_SHIFT) - 1
+
+
+def make_pte(frame: int, flags: int) -> int:
+    """Encode a PTE from a frame number and flag bits."""
+    if frame < 0:
+        raise ValueError(f"negative frame: {frame}")
+    if flags & ~PTE_FLAG_MASK:
+        raise ValueError(f"flags overflow the flag field: {flags:#x}")
+    return (int(frame) << PTE_FRAME_SHIFT) | int(flags)
+
+
+def pte_frame(pte: int) -> int:
+    """Frame number encoded in ``pte``."""
+    return int(pte) >> PTE_FRAME_SHIFT
+
+
+def pte_flags(pte: int) -> int:
+    """Flag bits encoded in ``pte``."""
+    return int(pte) & PTE_FLAG_MASK
+
+
+def pte_has(pte: int, flags: int) -> bool:
+    """True if all of ``flags`` are set in ``pte``."""
+    return (int(pte) & int(flags)) == int(flags)
+
+
+# -- vectorized forms over numpy leaves --------------------------------------
+
+
+def ptes_frames(ptes: np.ndarray) -> np.ndarray:
+    return ptes >> PTE_FRAME_SHIFT
+
+
+def ptes_flag_mask(ptes: np.ndarray, flags: int) -> np.ndarray:
+    """Boolean mask of entries where all of ``flags`` are set."""
+    return (ptes & np.int64(flags)) == np.int64(flags)
+
+
+def ptes_any_flag(ptes: np.ndarray, flags: int) -> np.ndarray:
+    """Boolean mask of entries where any of ``flags`` is set."""
+    return (ptes & np.int64(flags)) != 0
+
+
+def ptes_set_flags(ptes: np.ndarray, mask: np.ndarray, flags: int) -> None:
+    """In-place set of ``flags`` on entries selected by ``mask``."""
+    ptes[mask] |= np.int64(flags)
+
+
+def ptes_clear_flags(ptes: np.ndarray, mask: np.ndarray, flags: int) -> None:
+    """In-place clear of ``flags`` on entries selected by ``mask``."""
+    ptes[mask] &= ~np.int64(flags)
+
+
+def make_ptes(frames: np.ndarray, flags: int) -> np.ndarray:
+    """Vectorized :func:`make_pte` over an array of frames."""
+    return (frames.astype(np.int64) << np.int64(PTE_FRAME_SHIFT)) | np.int64(flags)
+
+
+__all__ = [
+    "PteFlags",
+    "PTE_FRAME_SHIFT",
+    "PTE_FLAG_MASK",
+    "make_pte",
+    "make_ptes",
+    "pte_frame",
+    "pte_flags",
+    "pte_has",
+    "ptes_frames",
+    "ptes_flag_mask",
+    "ptes_any_flag",
+    "ptes_set_flags",
+    "ptes_clear_flags",
+]

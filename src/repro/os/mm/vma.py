@@ -1,0 +1,268 @@
+"""Virtual memory areas and the chunked VMA tree.
+
+Linux keeps VMAs in a maple tree; what matters for CXLfork is that the tree
+has *leaf nodes holding several VMAs* which can be checkpointed into CXL
+memory and attached by restored processes, with lazy copy-to-local on the
+first modification (§4.2.1).  We model exactly that: a sorted sequence of
+:class:`VmaLeaf` chunks, each holding up to ``VMAS_PER_LEAF`` VMAs, shareable
+by reference with privatize-on-write.
+
+Serverless processes have *hundreds* of VMAs (library mappings of Python
+runtimes), which is why reconstructing this tree is a measurable cost for
+CRIU/Mitosis and why attaching it is a win for CXLfork.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+#: VMAs per checkpointable tree leaf.  Linux maple-tree nodes hold 10-16
+#: entries; 16 keeps the arithmetic simple.
+VMAS_PER_LEAF = 16
+
+
+class VmaKind(enum.Enum):
+    """What backs a mapping."""
+
+    ANON = "anon"
+    FILE_PRIVATE = "file_private"
+    FILE_SHARED = "file_shared"  # unsupported by checkpointing, like the paper
+
+
+class VmaPerms(enum.IntFlag):
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+
+
+@dataclass(frozen=True)
+class Vma:
+    """One virtual memory area.  Immutable: updates replace the object."""
+
+    start_vpn: int
+    npages: int
+    perms: VmaPerms
+    kind: VmaKind = VmaKind.ANON
+    path: Optional[str] = None
+    file_offset_pages: int = 0
+    label: str = ""
+    #: For restored processes: whether the file backing has been re-opened
+    #: and its callbacks registered with the local FS layer.  Attached
+    #: checkpointed VMAs start out unregistered; registration happens lazily
+    #: on the first fault (§4.2).
+    file_registered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.npages <= 0:
+            raise ValueError(f"VMA must span at least one page: {self.npages}")
+        if self.kind in (VmaKind.FILE_PRIVATE, VmaKind.FILE_SHARED) and not self.path:
+            raise ValueError("file-backed VMA requires a path")
+
+    @property
+    def end_vpn(self) -> int:
+        return self.start_vpn + self.npages
+
+    def contains(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.end_vpn
+
+    def overlaps(self, start_vpn: int, npages: int) -> bool:
+        return self.start_vpn < start_vpn + npages and start_vpn < self.end_vpn
+
+    def is_file_backed(self) -> bool:
+        return self.kind in (VmaKind.FILE_PRIVATE, VmaKind.FILE_SHARED)
+
+    def split_at(self, vpn: int) -> tuple["Vma", "Vma"]:
+        """Split into two VMAs at ``vpn`` (must be strictly inside)."""
+        if not (self.start_vpn < vpn < self.end_vpn):
+            raise ValueError(f"split point {vpn} outside ({self.start_vpn}, {self.end_vpn})")
+        head = replace(self, npages=vpn - self.start_vpn)
+        tail = replace(
+            self,
+            start_vpn=vpn,
+            npages=self.end_vpn - vpn,
+            file_offset_pages=self.file_offset_pages + (vpn - self.start_vpn),
+        )
+        return head, tail
+
+
+class VmaLeaf:
+    """A chunk of consecutive VMAs; the checkpointable/attachable unit."""
+
+    __slots__ = ("vmas", "cxl_resident", "refcount", "backing_frame")
+
+    def __init__(
+        self,
+        vmas: Optional[list] = None,
+        *,
+        cxl_resident: bool = False,
+        backing_frame: Optional[int] = None,
+    ) -> None:
+        self.vmas: list[Vma] = list(vmas or [])
+        self.cxl_resident = cxl_resident
+        self.refcount = 1
+        self.backing_frame = backing_frame
+
+    @property
+    def shared(self) -> bool:
+        return self.refcount > 1 or self.cxl_resident
+
+    @property
+    def start_vpn(self) -> int:
+        if not self.vmas:
+            raise ValueError("empty VMA leaf has no start")
+        return self.vmas[0].start_vpn
+
+    @property
+    def end_vpn(self) -> int:
+        if not self.vmas:
+            raise ValueError("empty VMA leaf has no end")
+        return self.vmas[-1].end_vpn
+
+    def clone_local(self) -> "VmaLeaf":
+        return VmaLeaf(list(self.vmas), cxl_resident=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = "cxl" if self.cxl_resident else "local"
+        return f"VmaLeaf({where}, refs={self.refcount}, n={len(self.vmas)})"
+
+
+class VmaTree:
+    """Sorted, chunked VMA container with attach/privatize semantics."""
+
+    def __init__(self) -> None:
+        self._leaves: list[VmaLeaf] = []
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(leaf.vmas) for leaf in self._leaves)
+
+    def __iter__(self) -> Iterator[Vma]:
+        for leaf in self._leaves:
+            yield from leaf.vmas
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def leaves(self) -> list[VmaLeaf]:
+        return list(self._leaves)
+
+    def total_pages(self) -> int:
+        return sum(vma.npages for vma in self)
+
+    def _leaf_pos_for(self, vpn: int) -> int:
+        """Index of the leaf that could contain ``vpn``."""
+        keys = [leaf.start_vpn for leaf in self._leaves]
+        pos = bisect.bisect_right(keys, vpn) - 1
+        return max(pos, 0)
+
+    def find(self, vpn: int) -> Optional[Vma]:
+        """The VMA containing ``vpn``, or None."""
+        if not self._leaves:
+            return None
+        pos = self._leaf_pos_for(vpn)
+        for leaf in self._leaves[pos : pos + 2]:
+            starts = [v.start_vpn for v in leaf.vmas]
+            i = bisect.bisect_right(starts, vpn) - 1
+            if i >= 0 and leaf.vmas[i].contains(vpn):
+                return leaf.vmas[i]
+        return None
+
+    def find_leaf(self, vpn: int) -> Optional[tuple[int, VmaLeaf]]:
+        """``(position, leaf)`` of the leaf whose VMA contains ``vpn``."""
+        if not self._leaves:
+            return None
+        pos = self._leaf_pos_for(vpn)
+        for offset, leaf in enumerate(self._leaves[pos : pos + 2]):
+            starts = [v.start_vpn for v in leaf.vmas]
+            i = bisect.bisect_right(starts, vpn) - 1
+            if i >= 0 and leaf.vmas[i].contains(vpn):
+                return pos + offset, leaf
+        return None
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, vma: Vma) -> None:
+        """Insert a non-overlapping VMA, splitting full leaves as needed."""
+        for existing in self:
+            if existing.overlaps(vma.start_vpn, vma.npages):
+                raise ValueError(
+                    f"VMA [{vma.start_vpn}, {vma.end_vpn}) overlaps "
+                    f"[{existing.start_vpn}, {existing.end_vpn})"
+                )
+        if not self._leaves:
+            self._leaves.append(VmaLeaf([vma]))
+            return
+        pos = self._leaf_pos_for(vma.start_vpn)
+        leaf = self._leaves[pos]
+        if leaf.shared:
+            raise PermissionError("insert into shared VMA leaf; privatize first")
+        starts = [v.start_vpn for v in leaf.vmas]
+        leaf.vmas.insert(bisect.bisect_left(starts, vma.start_vpn), vma)
+        if len(leaf.vmas) > VMAS_PER_LEAF:
+            half = len(leaf.vmas) // 2
+            right = VmaLeaf(leaf.vmas[half:])
+            del leaf.vmas[half:]
+            self._leaves.insert(pos + 1, right)
+
+    def privatize_leaf(self, pos: int) -> tuple[VmaLeaf, bool]:
+        """Make leaf at ``pos`` privately writable; returns (leaf, copied)."""
+        leaf = self._leaves[pos]
+        if not leaf.shared:
+            return leaf, False
+        private = leaf.clone_local()
+        leaf.refcount -= 1
+        self._leaves[pos] = private
+        return private, True
+
+    def replace_vma(self, pos: int, old: Vma, new: Vma) -> None:
+        """Swap ``old`` for ``new`` inside the (private) leaf at ``pos``."""
+        leaf = self._leaves[pos]
+        if leaf.shared:
+            raise PermissionError("replace in shared VMA leaf; privatize first")
+        index = leaf.vmas.index(old)
+        leaf.vmas[index] = new
+
+    def remove(self, vma: Vma) -> None:
+        """Remove an exact VMA (munmap of a whole area)."""
+        for pos, leaf in enumerate(self._leaves):
+            if vma in leaf.vmas:
+                if leaf.shared:
+                    raise PermissionError("remove from shared VMA leaf; privatize first")
+                leaf.vmas.remove(vma)
+                if not leaf.vmas:
+                    del self._leaves[pos]
+                return
+        raise ValueError(f"VMA not in tree: {vma}")
+
+    # -- attach (restore path) ----------------------------------------------------
+
+    def attach_leaf(self, leaf: VmaLeaf) -> None:
+        """Attach a checkpointed leaf by reference, keeping order."""
+        if not leaf.vmas:
+            raise ValueError("cannot attach an empty VMA leaf")
+        leaf.refcount += 1
+        keys = [l.start_vpn for l in self._leaves]
+        self._leaves.insert(bisect.bisect_left(keys, leaf.start_vpn), leaf)
+
+    def detach_all(self) -> None:
+        """Drop references to every leaf (address-space teardown)."""
+        for leaf in self._leaves:
+            leaf.refcount -= 1
+        self._leaves.clear()
+
+    # -- accounting ------------------------------------------------------------
+
+    def local_leaf_count(self) -> int:
+        return sum(1 for leaf in self._leaves if not leaf.cxl_resident)
+
+    def shared_leaf_count(self) -> int:
+        return sum(1 for leaf in self._leaves if leaf.cxl_resident)
+
+
+__all__ = ["Vma", "VmaKind", "VmaPerms", "VmaLeaf", "VmaTree", "VMAS_PER_LEAF"]

@@ -1,0 +1,116 @@
+"""A compute node: CPUs, local DRAM, caches, a kernel, attached to the fabric.
+
+Nodes are where virtual time lives (each node has its own clock, like each
+VM in the paper's testbed has its own OS instance), and where local-memory
+pressure is accounted for the CXLporter experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cxl.allocator import FrameAllocator
+from repro.cxl.fabric import CxlFabric
+from repro.cxl.topology import NodeSpec
+from repro.os.fs.vfs import SharedRootFs
+from repro.os.kernel import Kernel
+from repro.os.mm.cache import CacheModel
+from repro.os.pagecache import PageCache
+from repro.sim.clock import Clock
+from repro.sim.log import EventLog
+from repro.sim.units import bytes_to_pages
+
+#: Per-node DRAM frame ranges are spaced this far apart; must stay below
+#: the CXL frame base (1 << 40).  Allows nodes with up to 32 TiB DRAM.
+NODE_FRAME_STRIDE = 1 << 33
+
+
+class ComputeNode:
+    """One node of the pod."""
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        fabric: CxlFabric,
+        *,
+        node_id: int,
+        rootfs: Optional[SharedRootFs] = None,
+    ) -> None:
+        self.spec = spec
+        self.fabric = fabric
+        self.node_id = node_id
+        self.name = spec.name
+        self.clock = Clock()
+        self.log = EventLog(enabled=False)
+        self.dram = FrameAllocator(
+            f"{spec.name}:dram",
+            base=(node_id + 1) * NODE_FRAME_STRIDE,
+            capacity_frames=bytes_to_pages(spec.dram_bytes),
+        )
+        self.cache = CacheModel(capacity_bytes=spec.l3_cache_bytes)
+        # All nodes share one root FS object: the identical-image assumption.
+        if rootfs is None:
+            rootfs = getattr(fabric, "shared_rootfs", None)
+            if rootfs is None:
+                rootfs = SharedRootFs()
+                fabric.shared_rootfs = rootfs
+        self.rootfs = rootfs
+        self.pagecache = PageCache(self.dram)
+        self.kernel = Kernel(self)
+        self.failed = False
+        # Direct reclaim: allocation pressure first asks registered
+        # application victims, then drops page cache (repro.os.mm.reclaim).
+        from repro.os.mm.reclaim import MemoryReclaimer
+
+        self.reclaimer = MemoryReclaimer(self)
+        self.dram.pressure_handler = self.reclaimer.reclaim
+        fabric.attach_node(self)
+
+    # -- failure injection --------------------------------------------------------
+
+    def fail(self) -> int:
+        """Crash this node: every local process dies, local memory is gone.
+
+        References the node's processes held on *shared CXL frames* are
+        released (a pod-level janitor reclaims a dead node's shares, as in
+        partial-failure-resilient CXL memory managers), so checkpoints and
+        siblings on other nodes are unaffected.  Returns the number of
+        processes killed.  State checkpointed *into this node's DRAM*
+        (e.g. Mitosis shadows) is lost with it.
+        """
+        if self.failed:
+            return 0
+        killed = 0
+        for task in list(self.kernel.tasks()):
+            self.kernel.exit_task(task)
+            killed += 1
+        self.failed = True
+        self.log.emit(self.clock.now, "node_failed", node=self.name)
+        return killed
+
+    # -- memory accounting ------------------------------------------------------
+
+    @property
+    def dram_capacity_bytes(self) -> int:
+        return self.spec.dram_bytes
+
+    @property
+    def dram_used_bytes(self) -> int:
+        return self.dram.used_bytes
+
+    @property
+    def dram_free_bytes(self) -> int:
+        return self.dram_capacity_bytes - self.dram_used_bytes
+
+    def memory_pressure(self) -> float:
+        """Fraction of local DRAM in use (CXLporter's HighMem signal)."""
+        return self.dram_used_bytes / self.dram_capacity_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ComputeNode(name={self.name!r}, "
+            f"dram={self.dram_used_bytes >> 20}/{self.dram_capacity_bytes >> 20} MiB)"
+        )
+
+
+__all__ = ["ComputeNode", "NODE_FRAME_STRIDE"]

@@ -1,0 +1,106 @@
+"""Per-node page cache for file-backed pages.
+
+Library and runtime images are file-backed; on a node where they have never
+been read, the first touch is a major fault that loads them from the shared
+file system.  After that, every process on the node maps the same cached
+pages (minor faults, no new memory).  This is what makes LocalFork's lazy
+library repopulation cheap on a warm node — and what CXLfork sidesteps
+entirely by checkpointing clean private file pages into CXL (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cxl.allocator import FrameAllocator
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class PageCache:
+    """Tracks, per file path, which page indices are cached on this node."""
+
+    def __init__(self, dram: FrameAllocator) -> None:
+        self._dram = dram
+        #: path -> (cached boolean array, frames array)
+        self._files: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _entry(self, path: str, npages: int) -> tuple[np.ndarray, np.ndarray]:
+        entry = self._files.get(path)
+        if entry is None or entry[0].size < npages:
+            old_cached = entry[0] if entry else None
+            old_frames = entry[1] if entry else None
+            cached = np.zeros(npages, dtype=bool)
+            frames = np.full(npages, -1, dtype=np.int64)
+            if old_cached is not None:
+                cached[: old_cached.size] = old_cached
+                frames[: old_frames.size] = old_frames
+            entry = (cached, frames)
+            self._files[path] = entry
+        return entry
+
+    def ensure_range(self, path: str, offset_pages: int, npages: int) -> tuple[int, np.ndarray]:
+        """Make ``[offset, offset+npages)`` of ``path`` cache-resident.
+
+        Returns ``(newly_loaded, frames)``: how many pages were major-faulted
+        in (charged by the caller) and the frames now backing the range.
+        """
+        if npages <= 0:
+            return 0, np.empty(0, dtype=np.int64)
+        cached, frames = self._entry(path, offset_pages + npages)
+        window = slice(offset_pages, offset_pages + npages)
+        missing = ~cached[window]
+        newly = int(np.count_nonzero(missing))
+        if newly:
+            fresh = self._dram.alloc_many(newly)
+            idx = np.nonzero(missing)[0] + offset_pages
+            frames[idx] = fresh
+            cached[idx] = True
+        return newly, frames[window].copy()
+
+    def ensure_pages(self, path: str, page_indices: np.ndarray) -> tuple[int, np.ndarray]:
+        """Make exactly ``page_indices`` of ``path`` cache-resident.
+
+        Returns ``(newly_loaded, frames)`` aligned with ``page_indices``.
+        """
+        if page_indices.size == 0:
+            return 0, np.empty(0, dtype=np.int64)
+        cached, frames = self._entry(path, int(page_indices.max()) + 1)
+        missing = ~cached[page_indices]
+        newly = int(np.count_nonzero(missing))
+        if newly:
+            fresh = self._dram.alloc_many(newly)
+            idx = page_indices[missing]
+            frames[idx] = fresh
+            cached[idx] = True
+        return newly, frames[page_indices].copy()
+
+    def files(self) -> list:
+        """Cached file paths, oldest first (the reclaim scan order)."""
+        return list(self._files)
+
+    def cached_pages(self, path: str) -> int:
+        entry = self._files.get(path)
+        if entry is None:
+            return 0
+        return int(np.count_nonzero(entry[0]))
+
+    def total_cached_pages(self) -> int:
+        return sum(int(np.count_nonzero(c)) for c, _ in self._files.values())
+
+    def drop_file(self, path: str) -> int:
+        """Evict a whole file (memory-pressure reclaim); returns pages freed."""
+        entry = self._files.pop(path, None)
+        if entry is None:
+            return 0
+        cached, frames = entry
+        live = frames[cached]
+        if live.size:
+            self._dram.put(live)
+        return int(live.size)
+
+
+__all__ = ["PageCache"]

@@ -1,0 +1,19 @@
+"""Process model: task struct, registers, file descriptors, namespaces."""
+
+from repro.os.proc.cgroup import Cgroup
+from repro.os.proc.fdtable import FdTable, OpenFile
+from repro.os.proc.namespaces import MountNamespace, NamespaceSet, PidNamespace
+from repro.os.proc.regs import RegisterFile
+from repro.os.proc.task import Task, TaskState
+
+__all__ = [
+    "Cgroup",
+    "FdTable",
+    "OpenFile",
+    "MountNamespace",
+    "NamespaceSet",
+    "PidNamespace",
+    "RegisterFile",
+    "Task",
+    "TaskState",
+]

@@ -1,0 +1,56 @@
+"""CPU register file (the hardware context a checkpoint captures)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: x86-64 general-purpose register names we carry through checkpoints.
+GP_REGISTERS = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+
+@dataclass
+class RegisterFile:
+    """General-purpose registers plus instruction pointer and flags.
+
+    Values are plain integers; the simulator only needs them to survive a
+    checkpoint/restore round trip bit-exactly.
+    """
+
+    rip: int = 0
+    rflags: int = 0x202
+    gp: dict = field(default_factory=lambda: {name: 0 for name in GP_REGISTERS})
+    #: FPU/SSE state is modeled as an opaque size (bytes) for serialization.
+    fpu_state_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        missing = set(GP_REGISTERS) - set(self.gp)
+        if missing:
+            raise ValueError(f"missing registers: {sorted(missing)}")
+
+    def copy(self) -> "RegisterFile":
+        return RegisterFile(
+            rip=self.rip,
+            rflags=self.rflags,
+            gp=dict(self.gp),
+            fpu_state_bytes=self.fpu_state_bytes,
+        )
+
+    def serialized_size(self) -> int:
+        """Bytes a checkpoint of this register file occupies."""
+        return 8 * (2 + len(self.gp)) + self.fpu_state_bytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return (
+            self.rip == other.rip
+            and self.rflags == other.rflags
+            and self.gp == other.gp
+            and self.fpu_state_bytes == other.fpu_state_bytes
+        )
+
+
+__all__ = ["RegisterFile", "GP_REGISTERS"]

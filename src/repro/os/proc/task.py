@@ -1,0 +1,89 @@
+"""The task struct: a process.
+
+Groups the *private* state CXLfork checkpoints as-is (mm, registers) with
+the *global* state that is serialized/re-done (fd table, namespaces) and
+the *reconfigurable* state inherited on the restoring node (cgroup, sched
+affinity) — the §4.1 taxonomy, as fields.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.os.mm.mmdesc import MemoryDescriptor
+from repro.os.proc.cgroup import Cgroup
+from repro.os.proc.fdtable import FdTable
+from repro.os.proc.namespaces import NamespaceSet
+from repro.os.proc.regs import RegisterFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.os.kernel import Kernel
+
+_global_tids = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    STOPPED = "stopped"  # frozen for checkpointing
+    ZOMBIE = "zombie"
+    DEAD = "dead"
+
+
+@dataclass
+class SchedPolicy:
+    """Reconfigurable scheduling state (reset on the restoring node)."""
+
+    nice: int = 0
+    cpu_affinity: Optional[frozenset] = None
+    numa_policy: str = "default"
+
+
+@dataclass
+class Task:
+    """One process (single-threaded, as FaaS function workers are)."""
+
+    comm: str
+    kernel: "Kernel"
+    pid: int
+    mm: MemoryDescriptor = field(default_factory=MemoryDescriptor)
+    regs: RegisterFile = field(default_factory=RegisterFile)
+    fdtable: FdTable = field(default_factory=FdTable)
+    namespaces: NamespaceSet = field(default_factory=NamespaceSet)
+    cgroup: Optional[Cgroup] = None
+    sched: SchedPolicy = field(default_factory=SchedPolicy)
+    state: TaskState = TaskState.RUNNING
+    parent: Optional["Task"] = None
+    #: Globally unique across the pod (pids are namespace-scoped).
+    tid: int = field(default_factory=lambda: next(_global_tids))
+    #: Set while the task's address space attaches a CXL checkpoint; used at
+    #: exit to drop sharer references correctly.
+    attached_checkpoint: object = None
+
+    def __post_init__(self) -> None:
+        if not self.comm:
+            raise ValueError("task needs a command name")
+
+    @property
+    def node(self):
+        return self.kernel.node
+
+    def freeze(self) -> None:
+        """Stop the task so a consistent checkpoint can be taken."""
+        if self.state is not TaskState.RUNNING:
+            raise RuntimeError(f"cannot freeze task in state {self.state}")
+        self.state = TaskState.STOPPED
+
+    def thaw(self) -> None:
+        if self.state is not TaskState.STOPPED:
+            raise RuntimeError(f"cannot thaw task in state {self.state}")
+        self.state = TaskState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Task(comm={self.comm!r}, pid={self.pid}, state={self.state.value})"
+
+
+__all__ = ["Task", "TaskState", "SchedPolicy"]

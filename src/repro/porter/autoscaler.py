@@ -1,0 +1,580 @@
+"""CXLporter: the autoscaler control loop (§5).
+
+Drives a pod through an invocation trace on a discrete-event queue:
+
+* request arrival → warm instance reuse, or restore-from-checkpoint into a
+  ghost container (full container for CRIU, which cannot use ghosts), or a
+  full cold start;
+* node CPU slots bound concurrent executions; per-node FIFOs absorb bursts;
+* memory pressure triggers idle-instance eviction (keep-alive shortening)
+  and blocks tiering promotions past the HighMem threshold;
+* per-function checkpoint protocol: clear A/D after the first invocation,
+  checkpoint after the 16th (Pronghorn-style JIT warm-up, §5).
+
+Time bookkeeping: the event queue is the master clock.  Work executed on a
+node measures its *duration* with the node's virtual clock (kernel costs,
+faults, cache misses all accrue there) and completion events land at
+``queue.now + duration``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.cxl.allocator import OutOfMemoryError
+from repro.faas.container import ContainerFactory
+from repro.faas.traces import Request
+from repro.faas.workload import FunctionInstance, FunctionWorkload
+from repro.os.node import ComputeNode
+from repro.porter.ghostpool import GhostContainerPool
+from repro.porter.keepalive import KeepAlivePolicy
+from repro.porter.metrics import LatencyRecorder
+from repro.porter.objectstore import LOOKUP_NS, CheckpointObjectStore
+from repro.porter.scheduler import ClusterScheduler
+from repro.porter.tiering_controller import TieringController
+from repro.rfork.registry import get_mechanism
+from repro.sim.events import EventQueue
+from repro.sim.units import MS, SEC
+from repro.tiering.hotness import reset_access_bits
+from repro.tiering.mow import MigrateOnWrite
+
+#: Estimated local-memory need of starting one instance, as a multiple of
+#: the function footprint (guides eviction before a start; actual usage is
+#: whatever the mechanism really allocates).
+_MEMORY_FACTOR = {
+    "cold": 1.05,
+    "criu-cxl": 1.0,
+    "mitosis-cxl": 0.5,
+    "cxlfork": 0.2,
+}
+
+
+@dataclass
+class PorterConfig:
+    """Tunables of one CXLporter deployment."""
+
+    mechanism: str = "cxlfork"
+    user: str = "tenant0"
+    ghost_pool_per_function: int = 4
+    highmem_threshold: float = 0.90
+    #: Pin CXLfork to migrate-on-write (the Fig. 10 "CXLfork-MoW" arm).
+    static_mow: bool = False
+    #: SLO = measured (local) warm latency x this factor.  Tight enough
+    #: that MoW's CXL read penalty on cache-exceeding functions counts as
+    #: "close to the SLO" and triggers hybrid promotion (§5).
+    slo_factor: float = 1.4
+    #: Checkpoint after this many invocations (§5: the 16th).
+    checkpoint_after: int = 16
+    #: Clear A/D bits after this many invocations (§5: the first).
+    clear_ad_after: int = 1
+    keepalive: KeepAlivePolicy = field(default_factory=KeepAlivePolicy)
+    #: Concurrent executions per node (None = the node's CPU count).
+    cpu_slots_per_node: Optional[int] = None
+    #: Back-off before retrying a start that could not get memory.
+    memory_retry_ns: int = int(10 * MS)
+    #: Controller tick (SLO evaluation + periodic A-bit refresh).
+    controller_tick_ns: int = int(1 * SEC)
+    #: Refresh checkpointed A bits every this many ticks.
+    hot_refresh_ticks: int = 5
+
+
+@dataclass
+class InstanceRecord:
+    """One live function instance under CXLporter management."""
+
+    instance: FunctionInstance
+    node: ComputeNode
+    container: Any
+    function: str
+    busy: bool = False
+    idle_since: int = 0
+    expiry_at: int = 0
+    expiry_event: Any = None
+    is_template: bool = False  # Mitosis parents must stay alive
+
+
+@dataclass
+class _FunctionState:
+    """Per-function protocol state."""
+
+    workload: FunctionWorkload
+    invocations: int = 0
+    ad_cleared: bool = False
+    checkpointed: bool = False
+    slo_ns: float = 0.0
+    warm_ns: float = 0.0
+
+
+class CxlPorter:
+    """The autoscaler."""
+
+    def __init__(
+        self,
+        nodes: list,
+        fabric,
+        *,
+        config: Optional[PorterConfig] = None,
+        cxlfs=None,
+    ) -> None:
+        self.nodes = list(nodes)
+        self.fabric = fabric
+        self.config = config or PorterConfig()
+        self.queue = EventQueue()
+        self.store = CheckpointObjectStore(fabric)
+        self.metrics = LatencyRecorder()
+        self.scheduler = ClusterScheduler(self.nodes)
+        self.controller = TieringController(
+            highmem_threshold=self.config.highmem_threshold,
+            static_policy=MigrateOnWrite() if self.config.static_mow else None,
+        )
+        self.ghostpools = {
+            node.name: GhostContainerPool(
+                node, per_function=self.config.ghost_pool_per_function
+            )
+            for node in self.nodes
+        }
+        self.factories = {node.name: ContainerFactory(node) for node in self.nodes}
+        self._functions: dict[str, _FunctionState] = {}
+        self._idle: dict[str, dict[str, list]] = {n.name: {} for n in self.nodes}
+        self._fifo: dict[str, deque] = {n.name: deque() for n in self.nodes}
+        self._slots: dict[str, int] = {}
+        for node in self.nodes:
+            node._porter_running = 0
+            self._slots[node.name] = (
+                self.config.cpu_slots_per_node
+                if self.config.cpu_slots_per_node is not None
+                else node.spec.cpu_count
+            )
+        builder_workloads: dict[str, FunctionWorkload] = {}
+        self._builder_workloads = builder_workloads
+        if self.config.mechanism == "cxlfork":
+            self.mechanism = get_mechanism("cxlfork")
+        elif self.config.mechanism == "criu-cxl":
+            self.mechanism = get_mechanism("criu-cxl", fabric=fabric, cxlfs=cxlfs)
+        elif self.config.mechanism == "mitosis-cxl":
+            self.mechanism = get_mechanism("mitosis-cxl")
+        else:
+            raise ValueError(
+                f"CXLporter variants use a remote-fork mechanism, got "
+                f"{self.config.mechanism!r}"
+            )
+        self._tick_count = 0
+        self._retries = 0
+        for node in self.nodes:
+            # The node's reclaimer asks us first (idle-instance eviction),
+            # then falls back to dropping page cache on its own.
+            node.reclaimer.register_victim_source(
+                lambda shortfall, n=node: self._evict_idle_frames(n, shortfall)
+            )
+        # CXL-device pressure: CXLporter "is responsible for reclaiming
+        # checkpoints under CXL memory pressure" (§5) — evict LRU entries
+        # from the object store when the device runs short.
+        fabric.device.frames.pressure_handler = self._cxl_reclaim
+
+    # -- registration / pre-warming -------------------------------------------------
+
+    def register_function(self, workload: "FunctionWorkload | str") -> _FunctionState:
+        if not isinstance(workload, FunctionWorkload):
+            workload = FunctionWorkload(workload)
+        state = _FunctionState(workload=workload)
+        self._functions[workload.spec.name] = state
+        for pool in self.ghostpools.values():
+            if self.mechanism.supports_ghost_containers:
+                pool.provision(workload.spec.name)
+        return state
+
+    def prewarm_and_checkpoint(self, function: str, *, node: Optional[ComputeNode] = None):
+        """Build, season per the §5 protocol, checkpoint, and store.
+
+        Returns the object-store entry.  The seasoned parent stays alive
+        only for Mitosis (whose checkpoint is coupled to it); for CXLfork
+        and CRIU the parent exits — their checkpoints are self-contained.
+        """
+        state = self._functions[function]
+        where = node or self.nodes[0]
+        workload = state.workload
+        instance = workload.build_instance(where)
+        where.clock.advance(
+            reset_access_bits(instance.task.mm.pagetable, clear_dirty=True)
+        )
+        result = None
+        for _ in range(self.config.checkpoint_after):
+            result = workload.invoke(instance)
+        state.warm_ns = result.wall_ns
+        state.slo_ns = result.wall_ns * self.config.slo_factor
+        checkpoint, _ = self.mechanism.checkpoint(instance.task)
+        entry = self.store.put(
+            self.config.user,
+            function,
+            checkpoint,
+            mechanism=self.mechanism.name,
+            now=self.queue.now,
+        )
+        entry.plan = instance.plan
+        state.checkpointed = True
+        state.ad_cleared = True
+        if self.mechanism.name == "mitosis-cxl":
+            record = InstanceRecord(
+                instance=instance,
+                node=where,
+                container=None,
+                function=function,
+                is_template=True,
+            )
+            entry.template = record
+        else:
+            where.kernel.exit_task(instance.task)
+        return entry
+
+    # -- the request path -----------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Entry point: a request arrives (called from an arrival event)."""
+        state = self._functions.get(request.function)
+        if state is None:
+            raise KeyError(f"function {request.function!r} was never registered")
+        node = self.scheduler.pick_warm(request.function, self._has_idle)
+        if node is not None:
+            record = self._take_idle(node, request.function)
+            self._node_submit(node, lambda: self._execute_warm(record, request))
+            return
+        entry = self.store.query(
+            self.config.user, request.function, now=self.queue.now
+        )
+        node = self.scheduler.pick_for_start(lambda n: n._porter_running)
+        if entry is not None:
+            self._node_submit(
+                node, lambda: self._execute_restore(node, entry, request)
+            )
+        else:
+            self._node_submit(node, lambda: self._execute_cold(node, request))
+
+    # -- node execution machinery ----------------------------------------------------
+
+    def _node_submit(self, node: ComputeNode, work: Callable) -> None:
+        if node._porter_running < self._slots[node.name]:
+            self._start_work(node, work)
+        else:
+            self._fifo[node.name].append(work)
+
+    def _start_work(self, node: ComputeNode, work: Callable) -> None:
+        node._porter_running += 1
+        outcome = work()
+        duration, on_done = outcome
+        self.queue.schedule_after(
+            int(duration),
+            lambda: self._finish_work(node, on_done),
+            label=f"complete@{node.name}",
+        )
+
+    def _finish_work(self, node: ComputeNode, on_done: Callable) -> None:
+        node._porter_running -= 1
+        on_done()
+        fifo = self._fifo[node.name]
+        while fifo and node._porter_running < self._slots[node.name]:
+            self._start_work(node, fifo.popleft())
+
+    def _measure(self, node: ComputeNode, fn: Callable) -> tuple:
+        """Run ``fn`` against the node, returning (duration_ns, result)."""
+        before = node.clock.now
+        result = fn()
+        return node.clock.now - before, result
+
+    # -- work implementations -----------------------------------------------------------
+
+    def _execute_warm(self, record: InstanceRecord, request: Request):
+        state = self._functions[request.function]
+        record.busy = True
+
+        def do() -> bool:
+            try:
+                state.workload.invoke(record.instance)
+                return True
+            except OutOfMemoryError:
+                return False
+
+        duration, ok = self._measure(record.node, do)
+        if not ok:
+            # Even direct reclaim could not feed this invocation: give the
+            # instance's memory back and retry the request elsewhere/later.
+            self._teardown(record)
+            return self._retry_later(record.node, request, duration)
+
+        def on_done():
+            self._complete(record, request, kind="warm")
+
+        return duration, on_done
+
+    def _execute_restore(self, node: ComputeNode, entry, request: Request):
+        state = self._functions[request.function]
+        self._ensure_capacity(node, self._estimate_bytes(request.function))
+
+        def do() -> Optional[InstanceRecord]:
+            node.clock.advance(LOOKUP_NS)
+            container = None
+            if self.mechanism.supports_ghost_containers:
+                ghost = self.ghostpools[node.name].acquire(request.function)
+                if ghost is not None:
+                    node.clock.advance(ghost.trigger())
+                    container = ghost
+            if container is None:
+                container = self.factories[node.name].create(
+                    request.function, charge=True
+                )
+            policy = None
+            if self.mechanism.name == "cxlfork":
+                policy = self.controller.policy_for(request.function, node)
+            try:
+                result = self.mechanism.restore(
+                    entry.checkpoint, node, container=container, policy=policy
+                )
+            except OutOfMemoryError:
+                self._release_container(node, container)
+                return None
+            instance = state.workload.instance_from_plan(entry.plan, result.task)
+            record = InstanceRecord(
+                instance=instance,
+                node=node,
+                container=container,
+                function=request.function,
+                busy=True,
+            )
+            try:
+                state.workload.invoke(instance)
+            except OutOfMemoryError:
+                self._teardown(record)
+                return None
+            return record
+
+        duration, record = self._measure(node, do)
+        if record is None:
+            return self._retry_later(node, request, duration)
+
+        def on_done():
+            self._complete(record, request, kind="restore")
+
+        return duration, on_done
+
+    def _execute_cold(self, node: ComputeNode, request: Request):
+        state = self._functions[request.function]
+        self._ensure_capacity(node, self._estimate_bytes(request.function, cold=True))
+
+        def do() -> Optional[InstanceRecord]:
+            container = self.factories[node.name].create(request.function, charge=True)
+            instance = None
+            try:
+                instance = state.workload.build_instance(node, container=container)
+                record = InstanceRecord(
+                    instance=instance,
+                    node=node,
+                    container=container,
+                    function=request.function,
+                    busy=True,
+                )
+                state.workload.invoke(instance)
+            except OutOfMemoryError:
+                if instance is not None:
+                    node.kernel.exit_task(instance.task)
+                container.destroy()
+                return None
+            return record
+
+        duration, record = self._measure(node, do)
+        if record is None:
+            return self._retry_later(node, request, duration)
+
+        def on_done():
+            self._complete(record, request, kind="cold")
+
+        return duration, on_done
+
+    def _retry_later(self, node: ComputeNode, request: Request, wasted_ns: float):
+        """Could not get memory: free what we can and try again shortly."""
+        self._retries += 1
+
+        def on_done():
+            self.queue.schedule_after(
+                self.config.memory_retry_ns, lambda: self.submit(request)
+            )
+
+        return max(wasted_ns, 1), on_done
+
+    # -- completion & lifecycle -------------------------------------------------------------
+
+    def _complete(self, record: InstanceRecord, request: Request, *, kind: str) -> None:
+        state = self._functions[request.function]
+        now = self.queue.now
+        latency = now - request.when
+        self.metrics.record(request.function, latency, kind=kind)
+        if state.slo_ns:
+            self.controller.record_latency(request.function, state.slo_ns, latency)
+        self._run_checkpoint_protocol(record, state)
+        self._maybe_promote(record, request.function)
+        self._make_idle(record)
+
+    def _maybe_promote(self, record: InstanceRecord, function: str) -> None:
+        """Online tiering promotion: once a function is promoted to hybrid,
+        instances restored earlier under MoW get their hot CXL pages
+        migrated to local memory in the background (§5)."""
+        if self.mechanism.name != "cxlfork" or self.config.static_mow:
+            return
+        if not self.controller.evaluate(function, record.node):
+            return
+        if record.instance.task.mm.cxl_mapped_pages() == 0:
+            return
+        from repro.tiering.migration import migrate_hot_pages
+
+        migrate_hot_pages(record.node.kernel, record.instance.task)
+
+    def _run_checkpoint_protocol(self, record: InstanceRecord, state: _FunctionState) -> None:
+        """The §5 online protocol (no-op once a checkpoint exists)."""
+        state.invocations += 1
+        node = record.node
+        if not state.ad_cleared and state.invocations >= self.config.clear_ad_after:
+            node.clock.advance(
+                reset_access_bits(
+                    record.instance.task.mm.pagetable, clear_dirty=True
+                )
+            )
+            state.ad_cleared = True
+        if not state.checkpointed and state.invocations >= self.config.checkpoint_after:
+            checkpoint, _ = self.mechanism.checkpoint(record.instance.task)
+            entry = self.store.put(
+                self.config.user,
+                state.workload.spec.name,
+                checkpoint,
+                mechanism=self.mechanism.name,
+                now=self.queue.now,
+            )
+            entry.plan = record.instance.plan
+            state.checkpointed = True
+            if self.mechanism.name == "mitosis-cxl":
+                record.is_template = True
+                entry.template = record
+
+    def _make_idle(self, record: InstanceRecord) -> None:
+        record.busy = False
+        record.idle_since = self.queue.now
+        record.expiry_at = self.config.keepalive.expiry(record.node, self.queue.now)
+        pool = self._idle[record.node.name].setdefault(record.function, [])
+        pool.append(record)
+        record.expiry_event = self.queue.schedule(
+            record.expiry_at,
+            lambda: self._expire(record),
+            label=f"keepalive:{record.function}",
+        )
+
+    def _expire(self, record: InstanceRecord) -> None:
+        if record.busy:
+            return
+        pool = self._idle[record.node.name].get(record.function, [])
+        if record in pool:
+            # Under pressure the window may have shortened since this
+            # expiry was scheduled; under calm it may have lengthened.
+            if self.queue.now >= record.expiry_at:
+                pool.remove(record)
+                self._teardown(record)
+
+    def _has_idle(self, node: ComputeNode, function: str) -> bool:
+        return bool(self._idle[node.name].get(function))
+
+    def _take_idle(self, node: ComputeNode, function: str) -> InstanceRecord:
+        record = self._idle[node.name][function].pop()
+        record.busy = True
+        if record.expiry_event is not None:
+            self.queue.cancel(record.expiry_event)
+            record.expiry_event = None
+        return record
+
+    def _teardown(self, record: InstanceRecord) -> None:
+        if record.is_template:
+            return  # Mitosis parents stay until the checkpoint is evicted
+        record.node.kernel.exit_task(record.instance.task)
+        self._release_container(record.node, record.container)
+
+    def _release_container(self, node: ComputeNode, container) -> None:
+        if container is None:
+            return
+        if getattr(container, "is_ghost", False):
+            self.ghostpools[node.name].release(container)
+        else:
+            container.destroy()
+
+    # -- memory management -----------------------------------------------------------------
+
+    def _estimate_bytes(self, function: str, *, cold: bool = False) -> int:
+        spec = self._functions[function].workload.spec
+        factor = _MEMORY_FACTOR["cold" if cold else self.mechanism.name]
+        return int(spec.footprint_bytes * factor)
+
+    def _evict_idle_frames(self, node: ComputeNode, shortfall_frames: int) -> int:
+        """Victim source for the node reclaimer: evict idle instances."""
+        from repro.sim.units import pages_to_bytes
+
+        before = node.dram_free_bytes
+        self._ensure_capacity(node, before + pages_to_bytes(shortfall_frames))
+        return (node.dram_free_bytes - before) // 4096
+
+    def _cxl_reclaim(self, shortfall_frames: int) -> bool:
+        """Device pressure callback: evict LRU checkpoints (§5)."""
+        from repro.sim.units import pages_to_bytes
+
+        freed = self.store.reclaim(pages_to_bytes(shortfall_frames))
+        # Their functions will re-checkpoint on demand.
+        for state in self._functions.values():
+            name = state.workload.spec.name
+            if not self.store.contains(self.config.user, name):
+                state.checkpointed = False
+        return freed > 0
+
+    def _ensure_capacity(self, node: ComputeNode, need_bytes: int) -> bool:
+        """Evict idle instances (LRU) until ``need_bytes`` fit."""
+        if node.dram_free_bytes >= need_bytes:
+            return True
+        idle_records = [
+            r for pool in self._idle[node.name].values() for r in pool
+        ]
+        idle_records.sort(key=lambda r: r.idle_since)
+        for record in idle_records:
+            if node.dram_free_bytes >= need_bytes:
+                break
+            self._idle[node.name][record.function].remove(record)
+            if record.expiry_event is not None:
+                self.queue.cancel(record.expiry_event)
+            self._teardown(record)
+        return node.dram_free_bytes >= need_bytes
+
+    # -- the control loop ---------------------------------------------------------------------
+
+    def _controller_tick(self) -> None:
+        self._tick_count += 1
+        if self._tick_count % self.config.hot_refresh_ticks == 0:
+            self.controller.refresh_hot_sets(self.store.entries())
+        self.queue.schedule_after(self.config.controller_tick_ns, self._controller_tick)
+
+    def run(self, requests: list, *, until: Optional[int] = None) -> LatencyRecorder:
+        """Replay a trace to completion; returns the latency recorder."""
+        for request in requests:
+            self.queue.schedule(
+                request.when, lambda r=request: self.submit(r), label="arrival"
+            )
+        self.queue.schedule_after(self.config.controller_tick_ns, self._controller_tick)
+        horizon = until
+        if horizon is None:
+            horizon = (max(r.when for r in requests) if requests else 0) + 120 * SEC
+        while True:
+            pending = self.queue.peek_time()
+            if pending is None or pending > horizon:
+                break
+            self.queue.step()
+            # Without an explicit horizon, stop as soon as the trace is
+            # served; with one, keep running background events (keep-alive
+            # expiries, controller ticks) up to it.
+            if until is None and self.metrics.count() >= len(requests):
+                break
+        return self.metrics
+
+
+__all__ = ["CxlPorter", "PorterConfig", "InstanceRecord"]

@@ -1,0 +1,44 @@
+"""Keep-alive windows (§5, "Keep-Alive Windows").
+
+Serverless runtimes keep idle instances warm for minutes to dodge cold
+starts.  Because CXLfork makes cold starts cheap, CXLporter shortens the
+window to 10 seconds when node memory pressure rises, reclaiming memory
+faster without hurting latency much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.os.node import ComputeNode
+from repro.sim.units import SEC
+
+
+@dataclass(frozen=True)
+class KeepAlivePolicy:
+    """Chooses an idle instance's eviction deadline."""
+
+    #: The default production window (minutes — Shahrad et al.).
+    normal_window_ns: int = 600 * SEC
+    #: The shortened window under pressure (§5: 10 seconds).
+    pressured_window_ns: int = 10 * SEC
+    #: Memory-pressure threshold that triggers the short window.
+    pressure_threshold: float = 0.70
+
+    def __post_init__(self) -> None:
+        if self.pressured_window_ns > self.normal_window_ns:
+            raise ValueError("pressured window must not exceed the normal one")
+        if not 0.0 < self.pressure_threshold <= 1.0:
+            raise ValueError(f"bad threshold: {self.pressure_threshold}")
+
+    def window_ns(self, node: ComputeNode) -> int:
+        """The keep-alive window for an instance idling on ``node`` now."""
+        if node.memory_pressure() >= self.pressure_threshold:
+            return self.pressured_window_ns
+        return self.normal_window_ns
+
+    def expiry(self, node: ComputeNode, now: int) -> int:
+        return now + self.window_ns(node)
+
+
+__all__ = ["KeepAlivePolicy"]

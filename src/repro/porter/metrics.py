@@ -1,0 +1,64 @@
+"""End-to-end latency recording for the CXLporter experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.units import MS
+
+
+@dataclass
+class LatencyRecorder:
+    """Per-function end-to-end request latencies."""
+
+    _latencies: dict = field(default_factory=dict)
+    _kinds: dict = field(default_factory=dict)
+
+    def record(self, function: str, latency_ns: float, *, kind: str = "warm") -> None:
+        self._latencies.setdefault(function, []).append(latency_ns)
+        self._kinds.setdefault(function, []).append(kind)
+
+    def count(self, function: Optional[str] = None) -> int:
+        if function is not None:
+            return len(self._latencies.get(function, []))
+        return sum(len(v) for v in self._latencies.values())
+
+    def functions(self) -> list:
+        return sorted(self._latencies)
+
+    def all_latencies(self) -> np.ndarray:
+        chunks = [np.asarray(v) for v in self._latencies.values() if v]
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks)
+
+    def percentile(self, q: float, function: Optional[str] = None) -> Optional[float]:
+        values = (
+            np.asarray(self._latencies.get(function, []))
+            if function is not None
+            else self.all_latencies()
+        )
+        if values.size == 0:
+            return None
+        return float(np.percentile(values, q))
+
+    def p50_ms(self, function: Optional[str] = None) -> Optional[float]:
+        p = self.percentile(50, function)
+        return None if p is None else p / MS
+
+    def p99_ms(self, function: Optional[str] = None) -> Optional[float]:
+        p = self.percentile(99, function)
+        return None if p is None else p / MS
+
+    def start_kind_counts(self) -> dict:
+        counts: dict = {}
+        for kinds in self._kinds.values():
+            for kind in kinds:
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+
+__all__ = ["LatencyRecorder"]

@@ -1,0 +1,71 @@
+"""Vanilla cold start — spawn the function from scratch (Fig. 7's Cold).
+
+A builder callable constructs the function instance on the target node,
+charging the function's measured state-initialization latency (runtime
+startup, imports, model loading: 250-500 ms in the paper's Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.os.node import ComputeNode
+from repro.os.proc.task import Task
+from repro.rfork.base import (
+    CheckpointMetrics,
+    RemoteForkMechanism,
+    RestoreMetrics,
+    RestoreResult,
+)
+
+
+@dataclass(frozen=True)
+class ColdImage:
+    """The 'checkpoint' of a cold start: just the function's identity."""
+
+    comm: str
+
+    def delete(self) -> None:
+        """Nothing to release."""
+
+
+#: A builder constructs the function process on a node (inside an optional
+#: container), advances that node's clock by the initialization time, and
+#: returns ``(task, init_ns)``.
+Builder = Callable[[ComputeNode, Optional[Any]], "tuple[Task, float]"]
+
+
+class ColdStart(RemoteForkMechanism):
+    """Create a brand-new instance: runtime boot + state initialization."""
+
+    name = "cold"
+    supports_ghost_containers = True
+
+    def __init__(self, builder: Builder) -> None:
+        self.builder = builder
+
+    def checkpoint(self, task: Task) -> tuple[ColdImage, CheckpointMetrics]:
+        return ColdImage(task.comm), CheckpointMetrics()
+
+    def restore(
+        self,
+        checkpoint: ColdImage,
+        node: ComputeNode,
+        *,
+        container: Optional[Any] = None,
+        policy: Optional[Any] = None,
+    ) -> RestoreResult:
+        if policy is not None:
+            raise ValueError("cold start has no tiering policies")
+        task, init_ns = self.builder(node, container)
+        if task.comm != checkpoint.comm:
+            raise ValueError(
+                f"builder produced {task.comm!r}, expected {checkpoint.comm!r}"
+            )
+        metrics = RestoreMetrics()
+        metrics.note("state_init", init_ns)
+        return RestoreResult(task=task, metrics=metrics)
+
+
+__all__ = ["ColdStart", "ColdImage", "Builder"]

@@ -1,0 +1,277 @@
+"""CRIU-CXL: the state-of-practice baseline (§2.3.1, §6.2).
+
+Checkpoint: serialize the *entire* process image — task, registers, fds,
+namespaces, VMAs, pagemaps, and the raw contents of every anonymous or
+dirty page — with the protobuf-like codec into files on the shared
+in-CXL-memory file system.  Clean private file pages are skipped (CRIU
+relies on the identical root FS to fault them back in).
+
+Restore: read the image files from CXL, deserialize everything, recreate
+every VMA with mmap calls, and copy every dumped page into freshly
+allocated local memory.  Parent and child share no state afterwards, which
+is why CRIU's child consumes ~cold-start memory (Fig. 7b).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.os.fs.cxlfs import CxlFileSystem
+from repro.os.mm.pte import PteFlags
+from repro.os.mm.vma import VmaKind
+from repro.os.node import ComputeNode
+from repro.os.proc.namespaces import NamespaceSet
+from repro.os.proc.task import Task
+from repro.rfork.base import (
+    FD_REOPEN_NS,
+    MMAP_SYSCALL_NS,
+    NS_RESTORE_NS,
+    PROC_CREATE_NS,
+    CheckpointMetrics,
+    RemoteForkMechanism,
+    RestoreMetrics,
+    RestoreResult,
+)
+from repro.serial.codec import Codec
+from repro.serial.records import (
+    PagemapRecord,
+    TaskRecord,
+    VmaRecord,
+    pagemap_records,
+    task_to_records,
+    vma_records,
+)
+from repro.sim.units import PAGE_SIZE
+
+#: Installing one restored page's PTE (beyond the data copy itself).
+PTE_INSTALL_NS = 120.0
+#: Per-page handling while restoring pages.img: CRIU walks pagemap entries
+#: and preads/installs 4 KiB at a time, paying syscall + bookkeeping per
+#: page (this, not raw bandwidth, dominates its restore — §7.1's 16-423 ms).
+PAGE_RESTORE_NS = 1_500.0
+
+
+class CriuCheckpoint:
+    """A CRIU image set on the in-CXL-memory file system."""
+
+    def __init__(self, comm: str, cxlfs: CxlFileSystem, image_id: str) -> None:
+        self.comm = comm
+        self.cxlfs = cxlfs
+        self.image_id = image_id
+        self.task_record: Optional[TaskRecord] = None
+        self.vma_records: list[VmaRecord] = []
+        self.pagemaps: list[PagemapRecord] = []
+        self.dumped_pages = 0
+        self.metadata_bytes = 0
+        self._deleted = False
+
+    @property
+    def file_paths(self) -> list:
+        prefix = f"/criu/{self.image_id}"
+        return [f"{prefix}/{name}" for name in ("task.img", "vmas.img", "pagemap.img", "pages.img")]
+
+    @property
+    def data_bytes(self) -> int:
+        return self.dumped_pages * PAGE_SIZE
+
+    @property
+    def cxl_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+    def delete(self) -> None:
+        if self._deleted:
+            return
+        self._deleted = True
+        for path in self.file_paths:
+            if self.cxlfs.exists(path):
+                self.cxlfs.unlink(path)
+
+
+class CriuCxl(RemoteForkMechanism):
+    """Checkpoint/Restore in Userspace, ported onto CXL shared memory."""
+
+    name = "criu-cxl"
+    #: CRIU restores from a file system, which ghost containers do not
+    #: provide a mount of (§6.2: "CRIU-CXL is not compatible with ghost
+    #: containers").
+    supports_ghost_containers = False
+
+    _image_counter = 0
+
+    def __init__(self, cxlfs: CxlFileSystem, *, codec: Optional[Codec] = None) -> None:
+        self.cxlfs = cxlfs
+        self.codec = codec or Codec()
+
+    # -- checkpoint -----------------------------------------------------------
+
+    def checkpoint(self, task: Task) -> tuple[CriuCheckpoint, CheckpointMetrics]:
+        node = task.node
+        latency = node.fabric.latency
+        metrics = CheckpointMetrics()
+        task.freeze()
+        try:
+            CriuCxl._image_counter += 1
+            ckpt = CriuCheckpoint(
+                task.comm, self.cxlfs, f"{task.comm}-{CriuCxl._image_counter}"
+            )
+            ckpt.task_record = task_to_records(task)
+            ckpt.vma_records = vma_records(task)
+            ckpt.pagemaps = pagemap_records(task)
+
+            # Pages to dump: anonymous pages always; file pages only if dirty.
+            file_clean_vpns = self._file_clean_pages(task)
+            dumped = 0
+            for record in ckpt.pagemaps:
+                run = np.arange(record.start_vpn, record.start_vpn + record.npages)
+                dumped += int(np.count_nonzero(~np.isin(run, file_clean_vpns)))
+            ckpt.dumped_pages = dumped
+
+            # Serialize metadata + page data; write files to the CXL FS.
+            task_wire = ckpt.task_record.to_wire()
+            vma_wire = [r.to_wire() for r in ckpt.vma_records]
+            map_wire = [r.to_wire() for r in ckpt.pagemaps]
+            blob_t, t_ns = self.codec.encode_with_cost(task_wire, nrecords=4)
+            blob_v, v_ns = self.codec.encode_with_cost(vma_wire, nrecords=len(vma_wire))
+            blob_m, m_ns = self.codec.encode_with_cost(map_wire, nrecords=len(map_wire))
+            data_bytes = dumped * PAGE_SIZE
+            metrics.note("serialize_metadata", t_ns + v_ns + m_ns)
+            metrics.note(
+                "serialize_pages", self.codec.costs.encode_ns(data_bytes, dumped)
+            )
+            prefix = f"/criu/{ckpt.image_id}"
+            self.cxlfs.write_file(f"{prefix}/task.img", len(blob_t))
+            self.cxlfs.write_file(f"{prefix}/vmas.img", len(blob_v))
+            self.cxlfs.write_file(f"{prefix}/pagemap.img", len(blob_m))
+            self.cxlfs.write_file(f"{prefix}/pages.img", data_bytes)
+            ckpt.metadata_bytes = len(blob_t) + len(blob_v) + len(blob_m)
+            metrics.note(
+                "write_files",
+                latency.copy_ns(
+                    ckpt.metadata_bytes + data_bytes, src_cxl=False, dst_cxl=True
+                ),
+            )
+            metrics.serialized_bytes = ckpt.metadata_bytes + data_bytes
+            metrics.cxl_bytes = ckpt.cxl_bytes
+        finally:
+            task.thaw()
+        node.clock.advance(metrics.latency_ns)
+        node.log.emit(node.clock.now, "criu_checkpoint", comm=task.comm,
+                      pages=ckpt.dumped_pages)
+        return ckpt, metrics
+
+    @staticmethod
+    def _file_clean_pages(task: Task) -> np.ndarray:
+        """vpns of present, clean, file-backed pages (not dumped by CRIU)."""
+        chunks = []
+        for vma in task.mm.vmas:
+            if vma.kind is not VmaKind.FILE_PRIVATE:
+                continue
+            ptes = task.mm.pagetable.gather_ptes(vma.start_vpn, vma.npages)
+            present = (ptes & np.int64(int(PteFlags.PRESENT))) != 0
+            clean = (ptes & np.int64(int(PteFlags.DIRTY))) == 0
+            sel = np.nonzero(present & clean)[0]
+            if sel.size:
+                chunks.append(vma.start_vpn + sel)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    # -- restore --------------------------------------------------------------
+
+    def restore(
+        self,
+        checkpoint: CriuCheckpoint,
+        node: ComputeNode,
+        *,
+        container: Optional[Any] = None,
+        policy: Optional[Any] = None,
+    ) -> RestoreResult:
+        if policy is not None:
+            raise ValueError("CRIU-CXL has no tiering policies; state is fully copied")
+        kernel = node.kernel
+        latency = node.fabric.latency
+        metrics = RestoreMetrics()
+
+        metrics.note("process_create", PROC_CREATE_NS)
+        task = kernel.spawn_task(checkpoint.comm, container=container)
+        try:
+            return self._restore_into(task, checkpoint, node, metrics)
+        except BaseException:
+            kernel.exit_task(task)  # failed restores must not leak frames
+            raise
+
+    def _restore_into(self, task, checkpoint, node, metrics) -> RestoreResult:
+        kernel = node.kernel
+        latency = node.fabric.latency
+
+        # Read and deserialize every image file from the CXL FS.
+        meta_bytes = checkpoint.metadata_bytes
+        data_bytes = checkpoint.data_bytes
+        metrics.note(
+            "read_files",
+            latency.copy_ns(meta_bytes + data_bytes, src_cxl=True, dst_cxl=False),
+        )
+        n_meta_records = 4 + len(checkpoint.vma_records) + len(checkpoint.pagemaps)
+        metrics.note(
+            "deserialize_metadata",
+            self.codec.costs.decode_ns(meta_bytes, n_meta_records),
+        )
+        metrics.note(
+            "deserialize_pages", PAGE_RESTORE_NS * checkpoint.dumped_pages
+        )
+
+        record = checkpoint.task_record
+        task.regs = record.regs.restore_into()
+        for fd_record in record.fds:
+            entry = fd_record.reopen()
+            inode = node.rootfs.ensure(entry.path)
+            from dataclasses import replace as dc_replace
+
+            task.fdtable.install(dc_replace(entry, inode=inode.ino))
+        metrics.note("fd_reopen", FD_REOPEN_NS * len(record.fds))
+        task.namespaces = NamespaceSet.restore_into(
+            {"pid": record.namespaces.pid_ns, "mnt": record.namespaces.mnt_ns},
+            task.namespaces,
+        )
+        metrics.note("ns_restore", NS_RESTORE_NS)
+
+        # Recreate every VMA with mmap calls.
+        for vma_record in checkpoint.vma_records:
+            vma = vma_record.rebuild(file_registered=True)
+            if vma.is_file_backed():
+                node.rootfs.ensure(vma.path, size_bytes=vma.npages * PAGE_SIZE)
+            task.mm.vmas.insert(vma)
+            task.mm.note_range_used(vma.start_vpn, vma.npages)
+        metrics.note("vma_rebuild", MMAP_SYSCALL_NS * len(checkpoint.vma_records))
+
+        # Copy every dumped page into fresh local memory.
+        file_clean = None  # restored lazily via page-cache faults
+        total_installed = 0
+        flags = (
+            PteFlags.PRESENT
+            | PteFlags.WRITE
+            | PteFlags.USER
+            | PteFlags.ACCESSED
+            | PteFlags.DIRTY
+        )
+        for pagemap in checkpoint.pagemaps:
+            # Skip runs that were not dumped (clean file pages).
+            if not pagemap.flags & int(PteFlags.DIRTY):
+                vma = task.mm.vmas.find(pagemap.start_vpn)
+                if vma is not None and vma.kind is VmaKind.FILE_PRIVATE:
+                    continue
+            frames = kernel.alloc_local_frames(task.mm, pagemap.npages)
+            task.mm.pagetable.map_range(pagemap.start_vpn, frames, int(flags))
+            total_installed += pagemap.npages
+        metrics.copied_pages = total_installed
+        metrics.note("install_pages", PTE_INSTALL_NS * total_installed)
+
+        node.clock.advance(metrics.latency_ns)
+        node.log.emit(node.clock.now, "criu_restore", comm=checkpoint.comm,
+                      node=node.name, pages=total_installed)
+        return RestoreResult(task=task, metrics=metrics)
+
+
+__all__ = ["CriuCxl", "CriuCheckpoint"]

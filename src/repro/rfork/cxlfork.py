@@ -1,0 +1,449 @@
+"""CXLfork: near zero-serialization, zero-copy remote fork over CXL (§3-§4).
+
+Checkpoint: copy data pages and private OS structures (PTE leaves, VMA
+leaves, registers) *as-is* into CXL memory with non-temporal stores, rewrite
+the checkpointed PTEs to map the CXL replicas (preserving A/D bits), lightly
+serialize only the global state (fd paths, mounts, PID namespace), and
+**rebase** every internal pointer to a CXL offset so any OS instance can
+dereference the graph.
+
+Restore: create a process in the target container, redo the global state
+from the small serialized blob, attach the checkpointed VMA leaves and
+(under migrate-on-write) the checkpointed PTE leaves, initialize only the
+upper page-table levels, prefetch checkpoint-dirty pages off the critical
+path, and resume.  Data stays on the CXL tier, shared by every clone in the
+pod, until a store CoWs it local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.os.kernel import CheckpointBacking
+from repro.os.mm.pagetable import PTES_PER_LEAF, PageTable, PteLeaf
+from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags
+from repro.os.mm.vma import VmaLeaf
+from repro.os.node import ComputeNode
+from repro.os.proc.namespaces import NamespaceSet
+from repro.os.proc.task import Task
+from repro.rfork.base import (
+    FD_REOPEN_NS,
+    NS_RESTORE_NS,
+    PROC_CREATE_NS,
+    CheckpointMetrics,
+    RemoteForkMechanism,
+    RestoreMetrics,
+    RestoreResult,
+)
+from repro.serial.blob import CxlHeap
+from repro.serial.codec import Codec
+from repro.serial.rebase import RebaseError, Rebaser
+from repro.serial.records import FdRecord, NamespaceRecord, RegsRecord
+from repro.sim.units import PAGE_SIZE
+from repro.tiering.mow import MigrateOnWrite
+from repro.tiering.prefetch import DirtyPagePrefetcher
+
+#: Pointer-fixup cost per checkpointed structure during the rebase pass.
+REBASE_FIXUP_NS = 150.0
+#: Attaching one checkpointed PTE leaf (pin it, set the PMD entry, track
+#: the leaf-CoW bit).
+PTE_LEAF_ATTACH_NS = 2_000.0
+#: Attaching one checkpointed VMA leaf.
+VMA_LEAF_ATTACH_NS = 2_000.0
+#: Allocating + initializing one upper-level page table at restore.
+UPPER_TABLE_INIT_NS = 1_000.0
+#: Estimated in-CXL size of one VMA struct (excluding its path string).
+VMA_STRUCT_BYTES = 136
+
+_AD_HOT_MASK = np.int64(
+    int(PteFlags.ACCESSED) | int(PteFlags.DIRTY) | int(PteFlags.HOT)
+)
+_CKPT_BASE_FLAGS = np.int64(
+    int(PteFlags.PRESENT)
+    | int(PteFlags.USER)
+    | int(PteFlags.CXL)
+    | int(PteFlags.COW)
+    | int(PteFlags.PIN)
+)
+
+
+class CxlForkCheckpoint:
+    """A process checkpoint resident in shared CXL memory."""
+
+    def __init__(self, comm: str, fabric, heap: CxlHeap) -> None:
+        self.comm = comm
+        self.fabric = fabric
+        self.heap = heap
+        self.pagetable = PageTable()  # the checkpointed (CXL-resident) tree
+        self.vma_leaves: list[VmaLeaf] = []
+        self.data_frames = np.empty(0, dtype=np.int64)
+        self.leaf_offsets: dict[int, int] = {}
+        self.vma_leaf_offsets: list[int] = []
+        self.regs_offset = 0
+        self.global_offset = 0
+        self.image_offset = 0
+        self.present_pages = 0
+        self.rebased = False
+        self.source_node = ""
+        self._deleted = False
+
+    # -- size accounting ---------------------------------------------------------
+
+    @property
+    def data_bytes(self) -> int:
+        return self.present_pages * PAGE_SIZE
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.heap.used_bytes
+
+    @property
+    def cxl_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+    @property
+    def max_vpn(self) -> int:
+        if not self.vma_leaves:
+            return 0
+        return max(leaf.end_vpn for leaf in self.vma_leaves)
+
+    def delete(self) -> None:
+        """Release all CXL storage (object-store reclaim)."""
+        if self._deleted:
+            return
+        self._deleted = True
+        if self.data_frames.size:
+            self.fabric.put_frames(self.data_frames)
+        self.heap.release()
+
+    def verify_detached(self) -> None:
+        """Assert no checkpointed PTE still references node-local memory."""
+        for _, leaf in self.pagetable.leaves():
+            present = (leaf.ptes & np.int64(int(PteFlags.PRESENT))) != 0
+            if not np.any(present):
+                continue
+            on_cxl = (leaf.ptes[present] & np.int64(int(PteFlags.CXL))) != 0
+            if not np.all(on_cxl):
+                raise RebaseError(
+                    "checkpointed PTE maps node-local memory — rebase failed"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CxlForkCheckpoint(comm={self.comm!r}, "
+            f"pages={self.present_pages}, rebased={self.rebased})"
+        )
+
+
+class CxlFork(RemoteForkMechanism):
+    """The paper's remote fork interface."""
+
+    name = "cxlfork"
+    supports_ghost_containers = True
+
+    def __init__(
+        self,
+        *,
+        codec: Optional[Codec] = None,
+        prefetcher: Optional[DirtyPagePrefetcher] = None,
+        checkpoint_file_pages: bool = True,
+        naive_restore: bool = False,
+    ) -> None:
+        self.codec = codec or Codec()
+        self.prefetcher = prefetcher or DirtyPagePrefetcher()
+        #: Ablation (§4.1): when False, clean private file pages are left
+        #: out of the checkpoint (CRIU-style) and the restored child
+        #: faults them from the file system on the remote node.
+        self.checkpoint_file_pages = checkpoint_file_pages
+        #: Ablation (§4.2.1): when True, restore *copies* the checkpointed
+        #: page-table leaves to local memory and re-installs every PTE
+        #: instead of attaching the leaves — the "naive implementation"
+        #: the paper measures at several milliseconds.
+        self.naive_restore = naive_restore
+
+    # -- checkpoint --------------------------------------------------------------
+
+    def checkpoint(self, task: Task) -> tuple[CxlForkCheckpoint, CheckpointMetrics]:
+        node = task.node
+        fabric = node.fabric
+        latency = fabric.latency
+        metrics = CheckpointMetrics()
+        task.freeze()
+        try:
+            ckpt = CxlForkCheckpoint(task.comm, fabric, CxlHeap(fabric, f"ckpt:{task.comm}"))
+            ckpt.source_node = node.name
+            rebaser = Rebaser(ckpt.heap)
+
+            # Ablation: optionally leave clean private file pages out.
+            skip_vpns = None
+            if not self.checkpoint_file_pages:
+                from repro.rfork.criu import CriuCxl
+
+                skip_vpns = CriuCxl._file_clean_pages(task)
+
+            # 1. Copy data pages to CXL and build the rebased page table.
+            frame_chunks: list[np.ndarray] = []
+            total_present = 0
+            for leaf_index, leaf in task.mm.pagetable.leaves():
+                present = (leaf.ptes & np.int64(int(PteFlags.PRESENT))) != 0
+                if skip_vpns is not None and skip_vpns.size:
+                    base = leaf_index * PTES_PER_LEAF
+                    window = np.arange(base, base + PTES_PER_LEAF)
+                    present &= ~np.isin(window, skip_vpns)
+                count = int(np.count_nonzero(present))
+                new_ptes = np.zeros(PTES_PER_LEAF, dtype=np.int64)
+                if count:
+                    cxl_frames = fabric.alloc_frames(count)
+                    frame_chunks.append(cxl_frames)
+                    preserved = leaf.ptes[present] & _AD_HOT_MASK
+                    new_ptes[present] = (
+                        (cxl_frames << np.int64(PTE_FRAME_SHIFT))
+                        | _CKPT_BASE_FLAGS
+                        | preserved
+                    )
+                    total_present += count
+                ckpt_leaf = PteLeaf(new_ptes, cxl_resident=True)
+                ckpt.pagetable.install_leaf(leaf_index, ckpt_leaf)
+                offset = rebaser.intern(ckpt_leaf, PAGE_SIZE)
+                ckpt_leaf.backing_frame = int(offset)
+                ckpt.leaf_offsets[leaf_index] = int(offset)
+            ckpt.present_pages = total_present
+            if frame_chunks:
+                ckpt.data_frames = np.concatenate(frame_chunks)
+            metrics.note(
+                "data_copy",
+                latency.copy_ns(total_present * PAGE_SIZE, src_cxl=False, dst_cxl=True),
+            )
+            metrics.note(
+                "pagetable_copy",
+                latency.copy_ns(
+                    ckpt.pagetable.leaf_count * PAGE_SIZE, src_cxl=False, dst_cxl=True
+                ),
+            )
+
+            # 2. Checkpoint the VMA tree leaves (paths serialized in place).
+            vma_bytes = 0
+            for leaf in task.mm.vmas.leaves():
+                vmas = [
+                    dc_replace(v, file_registered=False) if v.is_file_backed() else v
+                    for v in leaf.vmas
+                ]
+                ckpt_leaf = VmaLeaf(vmas, cxl_resident=True)
+                ckpt.vma_leaves.append(ckpt_leaf)
+                size = sum(
+                    VMA_STRUCT_BYTES + (len(v.path) if v.path else 0) for v in vmas
+                )
+                vma_bytes += size
+                offset = rebaser.intern(ckpt_leaf, max(size, 1))
+                ckpt_leaf.backing_frame = int(offset)
+                ckpt.vma_leaf_offsets.append(int(offset))
+            metrics.note(
+                "vma_copy", latency.copy_ns(vma_bytes, src_cxl=False, dst_cxl=True)
+            )
+
+            # 3. Serialize global state (the only real serialization).
+            fd_records = [FdRecord.capture(f).to_wire() for f in task.fdtable]
+            ns_record = NamespaceRecord.capture(task).to_wire()
+            blob, encode_ns = self.codec.encode_with_cost(
+                {"fds": fd_records, "ns": ns_record, "comm": task.comm},
+                nrecords=len(fd_records) + 1,
+            )
+            ckpt.global_offset = ckpt.heap.store(blob, len(blob))
+            metrics.note("global_serialize", encode_ns)
+            metrics.note(
+                "global_copy", latency.copy_ns(len(blob), src_cxl=False, dst_cxl=True)
+            )
+            metrics.serialized_bytes = len(blob)
+
+            # 4. Hardware context (raw copy).
+            regs = RegsRecord.capture(task.regs)
+            ckpt.regs_offset = ckpt.heap.store(regs, task.regs.serialized_size())
+            metrics.note(
+                "regs_copy",
+                latency.copy_ns(task.regs.serialized_size(), src_cxl=False, dst_cxl=True),
+            )
+
+            # 5. Rebase: store the root image and verify closure.
+            image = {
+                "leaves": dict(ckpt.leaf_offsets),
+                "vma_leaves": list(ckpt.vma_leaf_offsets),
+                "regs": ckpt.regs_offset,
+                "global": ckpt.global_offset,
+            }
+            ckpt.image_offset = ckpt.heap.store(image, 256)
+            rebaser.verify_closed(
+                roots=list(ckpt.pagetable._leaves.values()) + ckpt.vma_leaves,
+                child_refs=lambda obj: [],
+            )
+            n_structs = ckpt.pagetable.leaf_count + len(ckpt.vma_leaves)
+            metrics.note("rebase", n_structs * REBASE_FIXUP_NS)
+            ckpt.rebased = True
+            ckpt.verify_detached()
+
+            metrics.cxl_bytes = ckpt.cxl_bytes
+        finally:
+            task.thaw()
+        node.clock.advance(metrics.latency_ns)
+        node.log.emit(node.clock.now, "cxlfork_checkpoint", comm=task.comm,
+                      pages=ckpt.present_pages)
+        return ckpt, metrics
+
+    # -- restore ------------------------------------------------------------------
+
+    def restore(
+        self,
+        checkpoint: CxlForkCheckpoint,
+        node: ComputeNode,
+        *,
+        container: Optional[Any] = None,
+        policy: Optional[Any] = None,
+    ) -> RestoreResult:
+        if not checkpoint.rebased:
+            raise RebaseError("cannot restore from a non-rebased checkpoint")
+        if policy is None:
+            policy = MigrateOnWrite()
+        kernel = node.kernel
+        latency = node.fabric.latency
+        metrics = RestoreMetrics()
+
+        metrics.note("process_create", PROC_CREATE_NS)
+        task = kernel.spawn_task(checkpoint.comm, container=container)
+        try:
+            return self._restore_into(task, checkpoint, node, policy, metrics)
+        except BaseException:
+            # Unwind a partially built clone (e.g. OOM during prefetch) so
+            # failed restores never leak frames.
+            kernel.exit_task(task)
+            raise
+
+    def _restore_into(self, task, checkpoint, node, policy, metrics) -> RestoreResult:
+        kernel = node.kernel
+        latency = node.fabric.latency
+
+        # Global state: deserialize the small blob, redo fds and namespaces.
+        blob = checkpoint.heap.deref(checkpoint.global_offset)
+        state, decode_ns = self.codec.decode_with_cost(blob, nrecords=8)
+        metrics.note("global_deserialize", decode_ns)
+        for wire in state["fds"]:
+            record = FdRecord.from_wire(wire)
+            entry = record.reopen()
+            inode = node.rootfs.ensure(entry.path)
+            task.fdtable.install(
+                dc_replace(entry, inode=inode.ino)
+            )
+        metrics.note("fd_reopen", FD_REOPEN_NS * len(state["fds"]))
+        ns_record = NamespaceRecord.from_wire(state["ns"])
+        task.namespaces = NamespaceSet.restore_into(
+            {"pid": ns_record.pid_ns, "mnt": ns_record.mnt_ns}, task.namespaces
+        )
+        metrics.note("ns_restore", NS_RESTORE_NS)
+
+        # Hardware context.
+        regs: RegsRecord = checkpoint.heap.deref(checkpoint.regs_offset)
+        task.regs = regs.restore_into()
+        metrics.note(
+            "regs_restore",
+            latency.copy_ns(task.regs.serialized_size(), src_cxl=True, dst_cxl=False),
+        )
+
+        # Attach the checkpointed VMA tree leaves.
+        for offset in checkpoint.vma_leaf_offsets:
+            leaf: VmaLeaf = checkpoint.heap.deref(offset)
+            task.mm.vmas.attach_leaf(leaf)
+        if checkpoint.vma_leaves:
+            task.mm.note_range_used(checkpoint.max_vpn, 0)
+        metrics.note(
+            "vma_attach", VMA_LEAF_ATTACH_NS * len(checkpoint.vma_leaf_offsets)
+        )
+
+        # Page tables: attach leaves (MoW) or leave empty (MoA/hybrid).
+        task.mm.ckpt_backing = CheckpointBacking(
+            checkpoint=checkpoint, policy=policy, holds_frame_refs=True
+        )
+        if self.naive_restore and policy.attach_leaves:
+            # Ablation: reconstruct the page tables locally instead of
+            # attaching the checkpointed leaves (§4.2.1's strawman).
+            installed = 0
+            for leaf_index, offset in checkpoint.leaf_offsets.items():
+                leaf: PteLeaf = checkpoint.heap.deref(offset)
+                task.mm.pagetable.install_leaf(leaf_index, PteLeaf(leaf.ptes.copy()))
+                installed += leaf.present_count()
+                metrics.note(
+                    "pt_copy", latency.page_copy_ns(src_cxl=True, dst_cxl=False)
+                )
+            metrics.note("pt_reinstall", 120.0 * installed)
+            uppers = task.mm.pagetable.upper_level_tables()
+            metrics.note("pt_upper_init", UPPER_TABLE_INIT_NS * uppers)
+            if checkpoint.data_frames.size:
+                node.fabric.get_frames(checkpoint.data_frames)
+        elif policy.attach_leaves:
+            for leaf_index, offset in checkpoint.leaf_offsets.items():
+                leaf: PteLeaf = checkpoint.heap.deref(offset)
+                task.mm.pagetable.attach_leaf(leaf_index, leaf)
+            metrics.note(
+                "pt_attach", PTE_LEAF_ATTACH_NS * len(checkpoint.leaf_offsets)
+            )
+            uppers = task.mm.pagetable.upper_level_tables()
+            metrics.note("pt_upper_init", UPPER_TABLE_INIT_NS * uppers)
+            if checkpoint.data_frames.size:
+                node.fabric.get_frames(checkpoint.data_frames)
+        else:
+            # Only the root + upper levels exist; leaves fill in on faults.
+            metrics.note("pt_upper_init", UPPER_TABLE_INIT_NS * 4)
+
+        # Ablation (§4.3): synchronously prefetch the A-marked pages during
+        # restore instead of fetching them on access.  The paper finds this
+        # "generally delivers lower performance" — it trades tail latency
+        # for fewer CXL faults.
+        if getattr(policy, "sync_prefetch_hot", False):
+            copied = self._sync_prefetch_hot(node, task, checkpoint)
+            metrics.note(
+                "sync_hot_prefetch",
+                latency.copy_ns(copied * PAGE_SIZE, src_cxl=True, dst_cxl=False),
+            )
+
+        # Opportunistic dirty-page prefetch (off the critical path).
+        if policy.prefetch_dirty:
+            result = self.prefetcher.prefetch(kernel, task, checkpoint.pagetable)
+            metrics.background_ns += result.background_ns
+            metrics.prefetched_pages = result.pages
+
+        node.clock.advance(metrics.latency_ns)
+        node.log.emit(node.clock.now, "cxlfork_restore", comm=checkpoint.comm,
+                      node=node.name, policy=policy.name)
+        return RestoreResult(task=task, metrics=metrics)
+
+    @staticmethod
+    def _sync_prefetch_hot(node, task, checkpoint) -> int:
+        """Install local copies of all A-marked checkpoint pages now."""
+        kernel = node.kernel
+        hot_flags = np.int64(int(PteFlags.PRESENT) | int(PteFlags.ACCESSED))
+        copied = 0
+        for leaf_index, ckpt_leaf in checkpoint.pagetable.leaves():
+            hot = (ckpt_leaf.ptes & hot_flags) == hot_flags
+            count = int(np.count_nonzero(hot))
+            if count == 0:
+                continue
+            child_leaf = task.mm.pagetable.ensure_leaf(leaf_index)
+            unmapped = hot & ((child_leaf.ptes & np.int64(int(PteFlags.PRESENT))) == 0)
+            count = int(np.count_nonzero(unmapped))
+            if count == 0:
+                continue
+            frames = kernel.alloc_local_frames(task.mm, count)
+            flags = (
+                PteFlags.PRESENT
+                | PteFlags.WRITE
+                | PteFlags.USER
+                | PteFlags.ACCESSED
+            )
+            from repro.os.mm.pte import make_ptes
+
+            child_leaf.ptes[unmapped] = make_ptes(frames, int(flags))
+            copied += count
+        return copied
+
+
+__all__ = ["CxlFork", "CxlForkCheckpoint"]

@@ -1,0 +1,59 @@
+"""Local fork — the intra-node reference baseline (Fig. 7's LocalFork).
+
+The "checkpoint" is simply a warm parent instance kept alive on the target
+node; restoring is a classic CoW fork.  This is the bar every remote-fork
+mechanism is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.os.node import ComputeNode
+from repro.os.proc.task import Task
+from repro.rfork.base import (
+    CheckpointMetrics,
+    RemoteForkMechanism,
+    RestoreMetrics,
+    RestoreResult,
+)
+
+
+class LocalFork(RemoteForkMechanism):
+    """fork() from a warm parent on the same node."""
+
+    name = "localfork"
+    supports_ghost_containers = True
+
+    def checkpoint(self, task: Task) -> tuple[Task, CheckpointMetrics]:
+        """The warm parent *is* the checkpoint; nothing is captured."""
+        return task, CheckpointMetrics()
+
+    def restore(
+        self,
+        checkpoint: Task,
+        node: ComputeNode,
+        *,
+        container: Optional[Any] = None,
+        policy: Optional[Any] = None,
+    ) -> RestoreResult:
+        if checkpoint.node is not node:
+            raise ValueError(
+                f"local fork cannot cross nodes: parent on {checkpoint.node.name}, "
+                f"target {node.name}"
+            )
+        if policy is not None:
+            raise ValueError("local fork has no tiering policies")
+        child, stats = node.kernel.local_fork(checkpoint)
+        if container is not None:
+            child.cgroup = container.cgroup
+            child.namespaces = container.namespaces
+        metrics = RestoreMetrics()
+        metrics.note("fork", stats.cost_ns)
+        return RestoreResult(task=child, metrics=metrics)
+
+    def delete_checkpoint(self, checkpoint: Task) -> None:
+        """Keep the warm parent alive — it is a live process, not storage."""
+
+
+__all__ = ["LocalFork"]

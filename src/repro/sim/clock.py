@@ -1,0 +1,49 @@
+"""Virtual nanosecond clock.
+
+Each simulated node owns a :class:`Clock`.  Mechanisms advance it as they
+"spend" time (memory copies, fault handling, serialization); the platform
+experiments read it to timestamp request latencies.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic virtual clock counting integer nanoseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError(f"clock cannot start in the past: {start_ns}")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta_ns: float) -> int:
+        """Move time forward by ``delta_ns`` (rounded to whole ns).
+
+        Returns the new time.  Negative deltas are rejected: virtual time is
+        monotonic.
+        """
+        delta = int(round(delta_ns))
+        if delta < 0:
+            raise ValueError(f"clock cannot move backwards: {delta_ns}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when_ns: int) -> int:
+        """Jump forward to absolute time ``when_ns`` (no-op if in the past)."""
+        if when_ns > self._now:
+            self._now = int(when_ns)
+        return self._now
+
+    def fork(self) -> "Clock":
+        """A new clock starting at this clock's current time."""
+        return Clock(self._now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now})"

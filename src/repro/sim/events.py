@@ -1,0 +1,120 @@
+"""Discrete-event queue for the platform-level experiments.
+
+The remote-fork mechanisms themselves are synchronous (they just advance a
+clock); the CXLporter experiments, however, interleave request arrivals,
+function completions, keep-alive expiries, and policy ticks across nodes.
+Those are driven by this queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(when, priority, sequence)``; the sequence number
+    makes ordering total and FIFO among ties, which keeps runs deterministic.
+    """
+
+    when: int
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap event loop over virtual time."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._now = 0
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> int:
+        """Virtual time of the most recently dispatched event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(
+        self,
+        when: int,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule event at {when} before current time {self._now}"
+            )
+        event = Event(int(when), priority, next(self._sequence), action, label)
+        heapq.heappush(self._heap, (event.when, event.priority, event.sequence, event))
+        return event
+
+    def schedule_after(
+        self,
+        delay: int,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` ``delay`` ns after the current time."""
+        return self.schedule(self._now + int(delay), action, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        self._cancelled.add(event.sequence)
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event; returns it, or ``None`` if queue is empty."""
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.sequence in self._cancelled:
+                self._cancelled.discard(event.sequence)
+                continue
+            self._now = event.when
+            event.action()
+            return event
+        return None
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is passed, or
+        ``max_events`` dispatched.  Returns the number of events dispatched.
+        """
+        dispatched = 0
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            if self.step() is not None:
+                dispatched += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return dispatched
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, skipping cancelled ones."""
+        while self._heap and self._heap[0][3].sequence in self._cancelled:
+            _, _, _, event = heapq.heappop(self._heap)
+            self._cancelled.discard(event.sequence)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+
+__all__ = ["Event", "EventQueue"]

@@ -1,0 +1,66 @@
+"""Structured event log.
+
+Mechanisms append typed records (fault served, page migrated, checkpoint
+taken, ...) so tests and experiments can assert on *what happened*, not just
+on aggregate timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged occurrence at a point in virtual time."""
+
+    when: int
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.detail[key]
+
+
+class EventLog:
+    """Append-only log with cheap filtering.
+
+    Logging can be disabled wholesale (``enabled=False``) for the big
+    platform sweeps where per-fault records would dominate runtime.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[LogRecord] = []
+
+    def emit(self, when: int, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        self._records.append(LogRecord(int(when), kind, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def records(self, kind: Optional[str] = None) -> list[LogRecord]:
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def last(self, kind: str) -> Optional[LogRecord]:
+        for record in reversed(self._records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+__all__ = ["EventLog", "LogRecord"]

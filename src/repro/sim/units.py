@@ -1,0 +1,56 @@
+"""Size and time units used across the simulator.
+
+All simulated time is integer nanoseconds; all simulated memory is measured in
+bytes and 4 KiB pages, matching the x86-64 base page size the paper's system
+uses.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB
+
+NS = 1
+US = 1_000 * NS
+MS = 1_000 * US
+SEC = 1_000 * MS
+
+
+def bytes_to_pages(nbytes: int) -> int:
+    """Number of whole pages needed to hold ``nbytes`` (rounds up)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+
+
+def pages_to_bytes(npages: int) -> int:
+    """Byte size of ``npages`` pages."""
+    if npages < 0:
+        raise ValueError(f"negative page count: {npages}")
+    return npages << PAGE_SHIFT
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte size, e.g. ``'630.0 MiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_ns(ns: float) -> str:
+    """Human-readable duration, e.g. ``'2.5 us'`` or ``'130.0 ms'``."""
+    value = float(ns)
+    if abs(value) < 1_000:
+        return f"{value:.0f} ns"
+    if abs(value) < 1_000_000:
+        return f"{value / 1_000:.1f} us"
+    if abs(value) < 1_000_000_000:
+        return f"{value / 1_000_000:.1f} ms"
+    return f"{value / 1_000_000_000:.2f} s"

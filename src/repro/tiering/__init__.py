@@ -1,0 +1,35 @@
+"""Checkpointed-state tiering between local DRAM and CXL memory (§4.3).
+
+Three policies control when checkpointed read-only pages move to the
+restoring node's local memory:
+
+* :class:`MigrateOnWrite` (default) — attach checkpointed PTE leaves, copy
+  only on stores, opportunistically prefetch checkpoint-dirty pages;
+* :class:`MigrateOnAccess` — no attachment; every first access copies the
+  page locally (the Mitosis/FaaSMem behaviour);
+* :class:`HybridTiering` — A-bit-guided: accessed-in-the-past pages are
+  copied on access, cold pages are mapped in place on the CXL tier.
+"""
+
+from repro.tiering.hotness import (
+    count_access_bits,
+    mark_hot_pages,
+    reset_access_bits,
+)
+from repro.tiering.hybrid import HybridTiering
+from repro.tiering.moa import MigrateOnAccess
+from repro.tiering.mow import MigrateOnWrite
+from repro.tiering.policy import TieringPolicy
+from repro.tiering.prefetch import DirtyPagePrefetcher, PrefetchResult
+
+__all__ = [
+    "TieringPolicy",
+    "MigrateOnWrite",
+    "MigrateOnAccess",
+    "HybridTiering",
+    "DirtyPagePrefetcher",
+    "PrefetchResult",
+    "count_access_bits",
+    "mark_hot_pages",
+    "reset_access_bits",
+]

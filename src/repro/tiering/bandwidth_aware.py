@@ -1,0 +1,51 @@
+"""Bandwidth-aware tiering (the §8 extension, implemented).
+
+The paper's policies decide placement from *latency* signals (A bits, SLO
+misses).  In a pod with many nodes, the shared device's bandwidth becomes
+the bottleneck: every clone reading its working set from CXL slows every
+other clone.  This policy watches the fabric's utilization and, once it
+crosses a threshold, starts copying even read-only hot pages to local
+memory on access — trading deduplication for fabric headroom.
+
+Below the threshold it behaves exactly like hybrid tiering.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.cxl.fabric import CxlFabric
+from repro.tiering.hybrid import HybridTiering
+
+
+class BandwidthAwareTiering(HybridTiering):
+    """Hybrid tiering that stops sharing when the fabric saturates."""
+
+    name = "bandwidth-aware"
+
+    def __init__(
+        self,
+        fabric: CxlFabric,
+        *,
+        utilization_threshold: float = 0.6,
+    ) -> None:
+        if not 0.0 < utilization_threshold < 1.0:
+            raise ValueError(f"bad threshold: {utilization_threshold}")
+        self.fabric = fabric
+        self.utilization_threshold = utilization_threshold
+
+    def _fabric_pressured(self) -> bool:
+        tracker = self.fabric.bandwidth
+        if tracker is None:
+            return False
+        return tracker.utilization() >= self.utilization_threshold
+
+    def select_copy_on_read(self, a_bits: np.ndarray, hot_bits: np.ndarray) -> np.ndarray:
+        if self._fabric_pressured():
+            # Saturated fabric: pull everything touched off the device.
+            return np.ones_like(a_bits, dtype=bool)
+        return super().select_copy_on_read(a_bits, hot_bits)
+
+
+__all__ = ["BandwidthAwareTiering"]

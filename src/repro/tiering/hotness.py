@@ -1,0 +1,80 @@
+"""A-bit harvesting, resetting, and user-declared hot pages (§4.3).
+
+Because checkpointed leaves are attached by restored processes, hardware
+page walks on *any* node set the Accessed bits of the checkpointed CXL
+PTEs.  User space (CXLporter) periodically resets them through a dedicated
+interface to keep the working-set estimate fresh, and profilers can stamp
+pages HOT explicitly to steer future restores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.os.mm.pagetable import LEAF_SHIFT, PTES_PER_LEAF, PageTable
+from repro.os.mm.pte import PteFlags, ptes_clear_flags, ptes_flag_mask
+
+#: Cost of the user-space interface updating one checkpointed leaf over CXL.
+_LEAF_UPDATE_NS = 800.0
+
+
+def count_access_bits(pagetable: PageTable) -> tuple[int, int]:
+    """``(accessed, present)`` counts over a (checkpointed) page table."""
+    accessed = 0
+    present = 0
+    for _, leaf in pagetable.leaves():
+        pmask = ptes_flag_mask(leaf.ptes, PteFlags.PRESENT)
+        amask = ptes_flag_mask(leaf.ptes, int(PteFlags.PRESENT) | int(PteFlags.ACCESSED))
+        present += int(np.count_nonzero(pmask))
+        accessed += int(np.count_nonzero(amask))
+    return accessed, present
+
+
+def reset_access_bits(pagetable: PageTable, *, clear_dirty: bool = False) -> float:
+    """Clear all A bits (the periodic working-set re-estimation).
+
+    ``clear_dirty`` also clears D bits — CXLporter does this once after a
+    function's first invocation so the bits capture the steady state rather
+    than initialization writes (§5); the *periodic* reset clears only A.
+
+    Returns the virtual-time cost; the caller charges it to whichever node
+    ran the user-space controller.
+    """
+    flags = int(PteFlags.ACCESSED)
+    if clear_dirty:
+        flags |= int(PteFlags.DIRTY)
+    cost = 0.0
+    for _, leaf in pagetable.leaves():
+        mask = ptes_flag_mask(leaf.ptes, PteFlags.PRESENT)
+        ptes_clear_flags(leaf.ptes, mask, flags)
+        cost += _LEAF_UPDATE_NS
+    return cost
+
+
+def mark_hot_pages(pagetable: PageTable, vpns: Iterable[int]) -> float:
+    """Set the HOT bit on specific pages (user-identified hot pages).
+
+    Returns the virtual-time cost.  Unknown/unmapped vpns are ignored, as
+    the real interface would silently skip holes.
+    """
+    vpn_arr = np.asarray(list(vpns), dtype=np.int64)
+    if vpn_arr.size == 0:
+        return 0.0
+    cost = 0.0
+    touched_leaves = set()
+    for vpn in vpn_arr:
+        leaf_index = int(vpn) >> LEAF_SHIFT
+        if not pagetable.has_leaf(leaf_index):
+            continue
+        leaf = pagetable.leaf(leaf_index)
+        entry = int(vpn) & (PTES_PER_LEAF - 1)
+        if leaf.ptes[entry] & np.int64(int(PteFlags.PRESENT)):
+            leaf.ptes[entry] |= np.int64(int(PteFlags.HOT))
+            touched_leaves.add(leaf_index)
+    cost += len(touched_leaves) * _LEAF_UPDATE_NS
+    return cost
+
+
+__all__ = ["count_access_bits", "reset_access_bits", "mark_hot_pages"]

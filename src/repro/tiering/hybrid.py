@@ -1,0 +1,39 @@
+"""Hybrid tiering — A-bit-guided placement (§4.3).
+
+The checkpointed page tables carry the parent's Accessed bits (harvested in
+steady state by CXLporter).  On a fault, a page whose A bit is set — or
+which user space explicitly marked HOT — is copied to local memory; a cold
+page is mapped in place on the CXL tier, preserving deduplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.os.mm.faults import FaultKind
+from repro.tiering.policy import TieringPolicy
+
+
+class HybridTiering(TieringPolicy):
+    """Copy hot (A-bit / user-marked) pages locally; leave cold pages on CXL."""
+
+    name = "hybrid"
+    attach_leaves = False
+    copy_fault_kind = FaultKind.MOA_COPY
+    prefetch_dirty = True
+
+    def select_copy_on_read(self, a_bits: np.ndarray, hot_bits: np.ndarray) -> np.ndarray:
+        return a_bits | hot_bits
+
+
+class SyncHybridTiering(HybridTiering):
+    """The §4.3 alternative the paper rejects: prefetch A-marked pages
+    *synchronously during restore* rather than on access.  Fewer CXL
+    faults, but the restore tail latency absorbs the whole copy."""
+
+    name = "hybrid-sync"
+    #: Consumed by the CXLfork restore path.
+    sync_prefetch_hot = True
+
+
+__all__ = ["HybridTiering", "SyncHybridTiering"]

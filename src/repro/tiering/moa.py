@@ -1,0 +1,28 @@
+"""Migrate-on-Access — the "no tiering" policy (§4.3).
+
+Pages are copied to local memory on first access, as Mitosis and
+FaaSMem-style systems do.  Restore does not attach checkpointed PTE leaves;
+the child's page table starts empty and fills via CXL faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.os.mm.faults import FaultKind
+from repro.tiering.policy import TieringPolicy
+
+
+class MigrateOnAccess(TieringPolicy):
+    """Copy every touched page into local DRAM."""
+
+    name = "moa"
+    attach_leaves = False
+    copy_fault_kind = FaultKind.MOA_COPY
+    prefetch_dirty = False
+
+    def select_copy_on_read(self, a_bits: np.ndarray, hot_bits: np.ndarray) -> np.ndarray:
+        return np.ones_like(a_bits, dtype=bool)
+
+
+__all__ = ["MigrateOnAccess"]

@@ -1,0 +1,31 @@
+"""Migrate-on-Write — CXLfork's default tiering policy (§4.3).
+
+Checkpointed PTE leaves are attached at restore, so reads never fault: loads
+that miss the caches go straight to CXL memory.  Stores CoW the page into
+local DRAM.  Checkpoint-dirty pages are prefetched opportunistically, since
+>95% of pages the parent wrote are written by children too (§4.2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.os.mm.faults import FaultKind
+from repro.tiering.policy import TieringPolicy
+
+
+class MigrateOnWrite(TieringPolicy):
+    """Share read-only state on the CXL tier; copy only what is written."""
+
+    name = "mow"
+    attach_leaves = True
+    copy_fault_kind = FaultKind.COW_CXL
+    prefetch_dirty = True
+
+    def select_copy_on_read(self, a_bits: np.ndarray, hot_bits: np.ndarray) -> np.ndarray:
+        # With attached leaves read faults do not normally occur; if one
+        # does (e.g. an unprefetched hole), keep the page on CXL.
+        return np.zeros_like(a_bits, dtype=bool)
+
+
+__all__ = ["MigrateOnWrite"]

@@ -1,0 +1,45 @@
+"""The tiering-policy interface consumed by restore and the fault path."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.os.mm.faults import FaultKind
+
+
+class TieringPolicy(abc.ABC):
+    """How a restored process's checkpointed pages move between tiers.
+
+    The kernel fault path calls :meth:`select_copy_on_read` for non-present
+    checkpoint-covered pages; the restore path consults
+    :attr:`attach_leaves` / :attr:`prefetch_dirty`.
+    """
+
+    #: Policy identifier (used in experiment tables).
+    name: str = "abstract"
+    #: Whether restore attaches the checkpointed PTE leaves (§4.2.1).  When
+    #: False, the child's page table starts empty and every first access
+    #: faults into :meth:`select_copy_on_read`.
+    attach_leaves: bool = False
+    #: Fault kind charged when a page is copied from the checkpoint tier.
+    copy_fault_kind: FaultKind = FaultKind.MOA_COPY
+    #: Whether restore opportunistically prefetches checkpoint-dirty pages
+    #: into local memory (§4.2.1, "Optimizing CXL Page Faults").
+    prefetch_dirty: bool = False
+
+    @abc.abstractmethod
+    def select_copy_on_read(self, a_bits: np.ndarray, hot_bits: np.ndarray) -> np.ndarray:
+        """Which faulting pages to *copy* to local memory on a read.
+
+        ``a_bits``/``hot_bits`` are boolean arrays over the faulting pages,
+        taken from the checkpointed PTEs.  Pages not selected are mapped in
+        place on the CXL tier.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["TieringPolicy"]

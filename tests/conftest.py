@@ -1,0 +1,35 @@
+"""Shared fixtures: small pods, kernels, prepared functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cxl.topology import PodTopology
+from repro.experiments.common import make_pod
+from repro.sim.units import GIB
+
+
+@pytest.fixture
+def pod():
+    """A small two-node pod (4 GiB DRAM/node, 8 GiB CXL)."""
+    return make_pod(dram_bytes=4 * GIB, cxl_bytes=8 * GIB)
+
+
+@pytest.fixture
+def fabric(pod):
+    return pod.fabric
+
+
+@pytest.fixture
+def node0(pod):
+    return pod.nodes[0]
+
+
+@pytest.fixture
+def node1(pod):
+    return pod.nodes[1]
+
+
+@pytest.fixture
+def kernel(node0):
+    return node0.kernel

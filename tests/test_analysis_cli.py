@@ -1,0 +1,100 @@
+"""Analysis helpers and the CLI."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.analysis.stats import geometric_mean, percentile, summary_stats
+from repro.analysis.tables import format_table
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_skips_nonpositive(self):
+        assert geometric_mean([0, -5, 4]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_percentile(self):
+        assert percentile(range(1, 101), 50) == pytest.approx(50.5)
+        assert percentile([], 99) is None
+
+    def test_summary_stats(self):
+        stats = summary_stats([1.0, 2.0, 3.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["count"] == 3
+        assert summary_stats([]) == {}
+
+
+class TestTables:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bbbb", 22.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "bbbb" in lines[3]
+        assert "22.25" in lines[3]
+
+    def test_markdown(self):
+        table = format_table(["x"], [["y"]], markdown=True)
+        assert table.splitlines()[0].startswith("| x")
+        assert set(table.splitlines()[1]) <= {"|", "-"}
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "bert" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_registry_modules_importable(self):
+        import importlib
+
+        for module_path, _ in EXPERIMENTS.values():
+            module = importlib.import_module(module_path)
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")
+
+
+class TestDedupAccounting:
+    def test_two_clones_share_everything(self, pod):
+        from repro.analysis.dedup import measure_dedup
+        from repro.experiments.common import prepare_parent
+        from repro.rfork.cxlfork import CxlFork
+
+        parent = prepare_parent(pod, "float")
+        mech = CxlFork()
+        ckpt, _ = mech.checkpoint(parent.instance.task)
+        pod.source.kernel.exit_task(parent.instance.task)
+        a = mech.restore(ckpt, pod.source)
+        b = mech.restore(ckpt, pod.target)
+        report = measure_dedup(pod.nodes)
+        assert report.process_count == 2
+        # Two sharers of (almost) the same frames: factor ≈ 2.
+        assert report.dedup_factor == pytest.approx(2.0, abs=0.1)
+        assert report.dedup_saved_bytes > 0
+        assert "deduplication saved" in report.format()
+
+    def test_no_cxl_means_factor_one(self, pod):
+        from repro.analysis.dedup import measure_dedup
+        from repro.faas.workload import FunctionWorkload
+
+        workload = FunctionWorkload("float")
+        workload.build_instance(pod.source)
+        report = measure_dedup(pod.nodes)
+        assert report.dedup_factor == 1.0
+        assert report.cxl_shared_bytes == 0

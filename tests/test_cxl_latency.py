@@ -1,0 +1,71 @@
+"""Latency model: access/copy costs and the Fig. 9 sweep hook."""
+
+import pytest
+
+from repro.cxl.latency import MemoryLatencyModel
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def model():
+    return MemoryLatencyModel()
+
+
+class TestAccess:
+    def test_defaults_match_testbed(self, model):
+        assert model.access_ns(cxl=False) == 100.0
+        assert model.access_ns(cxl=True) == 391.0  # §6.1 measurement
+
+    def test_cxl_slower_than_local(self, model):
+        assert model.access_ns(cxl=True) > model.access_ns(cxl=False)
+
+
+class TestCopies:
+    def test_zero_copy_is_free(self, model):
+        assert model.copy_ns(0, src_cxl=False, dst_cxl=False) == 0.0
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.copy_ns(-1, src_cxl=False, dst_cxl=False)
+
+    def test_cxl_source_slower(self, model):
+        local = model.page_copy_ns(src_cxl=False, dst_cxl=False)
+        from_cxl = model.page_copy_ns(src_cxl=True, dst_cxl=False)
+        assert from_cxl > local
+
+    def test_cow_data_movement_near_paper(self, model):
+        """§4.2.1: ~1.3 us of data movement per CXL CoW fault."""
+        ns = model.page_copy_ns(src_cxl=True, dst_cxl=False)
+        assert 1_100 <= ns <= 1_500
+
+    def test_nt_store_vs_local_copy_ratio(self, model):
+        """Checkpointing to CXL is ~1.5x slower than locally (§7.1)."""
+        to_cxl = model.copy_ns(1 << 30, src_cxl=False, dst_cxl=True)
+        local = model.copy_ns(1 << 30, src_cxl=False, dst_cxl=False)
+        assert 1.3 <= to_cxl / local <= 1.7
+
+    def test_bandwidth_dominated_by_slower_endpoint(self, model):
+        both = model.copy_ns(1 << 20, src_cxl=True, dst_cxl=True)
+        read_only = model.copy_ns(1 << 20, src_cxl=True, dst_cxl=False)
+        assert both >= read_only
+
+
+class TestLatencySweep:
+    def test_with_cxl_latency(self, model):
+        fast = model.with_cxl_latency(100.0)
+        assert fast.cxl_access_ns == 100.0
+        assert fast.local_access_ns == model.local_access_ns
+
+    def test_lower_latency_raises_bandwidth(self, model):
+        fast = model.with_cxl_latency(100.0)
+        assert fast.cxl_read_bandwidth_gbps > model.cxl_read_bandwidth_gbps
+
+    def test_same_latency_is_identity(self, model):
+        same = model.with_cxl_latency(model.cxl_access_ns)
+        assert same.cxl_read_bandwidth_gbps == pytest.approx(
+            model.cxl_read_bandwidth_gbps
+        )
+
+    def test_invalid_latency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.with_cxl_latency(0)

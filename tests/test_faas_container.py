@@ -1,0 +1,86 @@
+"""Containers, ghost containers, and the SLO tracker."""
+
+import pytest
+
+from repro.faas.container import (
+    CONTAINER_CREATE_NS,
+    GHOST_CONTAINER_BYTES,
+    Container,
+    ContainerFactory,
+    GhostContainer,
+)
+from repro.faas.slo import SloTracker
+from repro.sim.units import KIB, MS
+
+
+class TestContainers:
+    def test_create_charges_130ms(self, node0):
+        factory = ContainerFactory(node0)
+        before = node0.clock.now
+        factory.create("float")
+        assert node0.clock.now - before == pytest.approx(130 * MS)
+
+    def test_uncharged_creation(self, node0):
+        factory = ContainerFactory(node0)
+        before = node0.clock.now
+        factory.create("float", charge=False)
+        assert node0.clock.now == before
+
+    def test_containers_have_own_namespaces(self, node0):
+        factory = ContainerFactory(node0)
+        a = factory.create("float", charge=False)
+        b = factory.create("float", charge=False)
+        assert a.namespaces.pid is not b.namespaces.pid
+        assert a.container_id != b.container_id
+
+    def test_ghost_memory_is_512k(self):
+        assert GHOST_CONTAINER_BYTES == 512 * KIB
+
+    def test_ghost_trigger_lifecycle(self, node0):
+        ghost = GhostContainer(node0, "float")
+        cost = ghost.trigger()
+        assert cost > 0
+        with pytest.raises(RuntimeError):
+            ghost.trigger()
+        ghost.release()
+        ghost.trigger()  # reusable
+
+    def test_destroy(self, node0):
+        container = ContainerFactory(node0).create("x", charge=False)
+        container.destroy()
+        assert container.destroyed
+
+
+class TestSloTracker:
+    def test_no_verdict_without_samples(self):
+        tracker = SloTracker("f", slo_ns=100.0)
+        assert not tracker.violating()
+        assert tracker.percentile(99) is None
+
+    def test_violation_on_high_p95(self):
+        tracker = SloTracker("f", slo_ns=100.0)
+        for _ in range(20):
+            tracker.record(50.0)
+        assert not tracker.violating()
+        for _ in range(20):
+            tracker.record(150.0)
+        assert tracker.violating()
+
+    def test_sliding_window(self):
+        tracker = SloTracker("f", slo_ns=100.0, window=10)
+        for _ in range(50):
+            tracker.record(500.0)
+        for _ in range(10):
+            tracker.record(10.0)
+        assert tracker.sample_count == 10
+        assert not tracker.violating()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker("f", slo_ns=1.0).record(-1.0)
+
+    def test_mean(self):
+        tracker = SloTracker("f", slo_ns=100.0)
+        tracker.record(10.0)
+        tracker.record(30.0)
+        assert tracker.mean() == pytest.approx(20.0)

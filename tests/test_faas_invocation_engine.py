@@ -1,0 +1,100 @@
+"""Invocation engine internals: warming, contention, tier accounting."""
+
+import pytest
+
+from repro.cxl.bandwidth import BandwidthTracker
+from repro.experiments.common import make_pod, prepare_parent
+from repro.faas.workload import FunctionWorkload
+from repro.rfork.cxlfork import CxlFork
+
+
+class TestTierAccounting:
+    def test_local_instance_touches_only_local(self, pod):
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        result = workload.invoke(instance)
+        assert result.touched_cxl == 0
+        assert result.touched_local == result.touched_pages
+        assert result.cxl_fraction == 0.0
+
+    def test_mow_child_touches_mostly_cxl(self, pod):
+        parent = prepare_parent(pod, "float")
+        mech = CxlFork()
+        ckpt, _ = mech.checkpoint(parent.instance.task)
+        restored = mech.restore(ckpt, pod.target)
+        child = parent.workload.placed_plan_for(parent.instance, restored.task)
+        result = parent.workload.invoke(child)
+        # Read-only + init stay on CXL; only writes/prefetch are local.
+        assert result.cxl_fraction > 0.5
+
+    def test_fault_time_separated_from_access_time(self, pod):
+        parent = prepare_parent(pod, "float")
+        mech = CxlFork()
+        ckpt, _ = mech.checkpoint(parent.instance.task)
+        restored = mech.restore(ckpt, pod.target)
+        child = parent.workload.placed_plan_for(parent.instance, restored.task)
+        result = parent.workload.invoke(child)
+        assert result.fault_ns >= 0
+        assert result.access_ns > 0
+        assert result.wall_ns == pytest.approx(
+            result.fault_ns + result.access_ns + result.compute_ns
+        )
+
+
+class TestContention:
+    def test_contention_inflates_cxl_heavy_invocations(self):
+        def warm_cxl_child(tracker_load):
+            pod = make_pod()
+            if tracker_load:
+                pod.fabric.bandwidth = BandwidthTracker(capacity_gbps=1.0)
+                pod.fabric.bandwidth.register_stream("noise", 0.9)
+            parent = prepare_parent(pod, "bert")
+            mech = CxlFork()
+            ckpt, _ = mech.checkpoint(parent.instance.task)
+            restored = mech.restore(ckpt, pod.target)
+            child = parent.workload.placed_plan_for(parent.instance, restored.task)
+            parent.workload.invoke(child)  # cold
+            return parent.workload.invoke(child).wall_ns
+
+        quiet = warm_cxl_child(False)
+        congested = warm_cxl_child(True)
+        assert congested > 1.5 * quiet
+
+    def test_contention_spares_local_instances(self):
+        pod = make_pod()
+        pod.fabric.bandwidth = BandwidthTracker(capacity_gbps=1.0)
+        pod.fabric.bandwidth.register_stream("noise", 0.9)
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        quiet_equivalent = workload.spec.compute_ns
+        result = workload.invoke(instance)
+        # All-local working set: contention on the device is irrelevant.
+        assert result.wall_ns < 1.5 * quiet_equivalent + 5e6
+
+
+class TestWarming:
+    def test_faulted_pages_do_not_double_charge_first_touch(self, pod):
+        """Pages copied by a fault are cache-warm; the engine must not also
+        charge them a first-touch miss."""
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source, charge=False)
+        # Fresh instance: everything present and warm from population.
+        first = workload.invoke(instance)
+        # A brand-new unseasoned instance faulted nothing (populated), so
+        # first touches equal touched pages.
+        assert first.first_touch_misses == pytest.approx(
+            first.touched_pages, rel=0.01
+        )
+
+    def test_mitosis_child_first_invocation_all_warmed(self, pod):
+        from repro.rfork.mitosis import MitosisCxl
+
+        parent = prepare_parent(pod, "float")
+        mech = MitosisCxl()
+        ckpt, _ = mech.checkpoint(parent.instance.task)
+        restored = mech.restore(ckpt, pod.target)
+        child = parent.workload.placed_plan_for(parent.instance, restored.task)
+        result = parent.workload.invoke(child)
+        # Every touched page arrived via a warming remote copy.
+        assert result.first_touch_misses == 0

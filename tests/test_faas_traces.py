@@ -1,0 +1,80 @@
+"""Trace generation: determinism, rates, skew, burstiness."""
+
+import numpy as np
+import pytest
+
+from repro.faas.traces import (
+    Request,
+    TraceConfig,
+    generate_trace,
+    popularity_weights,
+    trace_stats,
+)
+from repro.sim.units import SEC
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(TraceConfig(seed=5, duration_s=5))
+        b = generate_trace(TraceConfig(seed=5, duration_s=5))
+        assert [(r.when, r.function) for r in a] == [(r.when, r.function) for r in b]
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(TraceConfig(seed=5, duration_s=5))
+        b = generate_trace(TraceConfig(seed=6, duration_s=5))
+        assert [(r.when, r.function) for r in a] != [(r.when, r.function) for r in b]
+
+
+class TestShape:
+    def test_sorted_by_time(self):
+        trace = generate_trace(TraceConfig(duration_s=5))
+        whens = [r.when for r in trace]
+        assert whens == sorted(whens)
+
+    def test_within_horizon(self):
+        config = TraceConfig(duration_s=5)
+        trace = generate_trace(config)
+        assert all(0 <= r.when < 5 * SEC for r in trace)
+
+    def test_rate_near_target(self):
+        config = TraceConfig(total_rps=150, duration_s=20)
+        stats = trace_stats(generate_trace(config))
+        assert stats["rps"] == pytest.approx(150, rel=0.25)
+
+    def test_popularity_skewed(self):
+        config = TraceConfig(total_rps=200, duration_s=20, popularity_skew=1.0)
+        stats = trace_stats(generate_trace(config))
+        counts = stats["per_function"]
+        assert counts.get("float", 0) > counts.get("bert", 0)
+
+    def test_weights_normalized(self):
+        weights = popularity_weights(["a", "b", "c"], 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] > weights[2]
+
+    def test_burstiness_visible(self):
+        """Arrival counts per 500ms bucket should vary far more than a
+        constant-rate Poisson process would."""
+        config = TraceConfig(
+            total_rps=100, duration_s=30, burst_factor=8.0, functions=["float"]
+        )
+        trace = generate_trace(config)
+        buckets = np.zeros(60)
+        for request in trace:
+            buckets[min(59, int(request.when / (0.5 * SEC)))] += 1
+        mean = buckets.mean()
+        # Poisson would give variance == mean; bursts inflate it.
+        assert buckets.var() > 2.0 * mean
+
+    def test_subset_of_functions(self):
+        config = TraceConfig(duration_s=5, functions=["bert", "bfs"])
+        stats = trace_stats(generate_trace(config))
+        assert set(stats["per_function"]) <= {"bert", "bfs"}
+
+    def test_request_ids_unique(self):
+        trace = generate_trace(TraceConfig(duration_s=5))
+        ids = [r.request_id for r in trace]
+        assert len(ids) == len(set(ids))
+
+    def test_empty_stats(self):
+        assert trace_stats([])["count"] == 0

@@ -1,0 +1,125 @@
+"""Kernel fault path: anon/file faults, CoW, checkpoint-backed policies."""
+
+import numpy as np
+import pytest
+
+from repro.os.kernel import SegfaultError
+from repro.os.mm.faults import FaultKind
+from repro.os.mm.pte import PteFlags, pte_has
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task("worker")
+
+
+class TestAnonFaults:
+    def test_read_fault_zero_fills(self, kernel, task):
+        vma = kernel.map_anon_region(task, 100, populate=False)
+        stats = kernel.access_range(task, vma.start_vpn, 100, write=False)
+        assert stats.count(FaultKind.ANON_ZERO) == 100
+        assert task.mm.mapped_pages() == 100
+
+    def test_second_touch_no_fault(self, kernel, task):
+        vma = kernel.map_anon_region(task, 50, populate=False)
+        kernel.access_range(task, vma.start_vpn, 50, write=False)
+        stats = kernel.access_range(task, vma.start_vpn, 50, write=False)
+        assert stats.total_faults == 0
+
+    def test_write_sets_dirty(self, kernel, task):
+        vma = kernel.map_anon_region(task, 10, populate=False)
+        kernel.access_range(task, vma.start_vpn, 10, write=True)
+        pte = task.mm.pagetable.get_pte(vma.start_vpn)
+        assert pte_has(pte, PteFlags.DIRTY)
+
+    def test_read_sets_accessed(self, kernel, task):
+        vma = kernel.map_anon_region(task, 10, populate=True)
+        from repro.tiering.hotness import reset_access_bits
+
+        reset_access_bits(task.mm.pagetable, clear_dirty=True)
+        kernel.access_range(task, vma.start_vpn, 10, write=False)
+        pte = task.mm.pagetable.get_pte(vma.start_vpn)
+        assert pte_has(pte, PteFlags.ACCESSED)
+        assert not pte_has(pte, PteFlags.DIRTY)
+
+    def test_owned_pages_accounting(self, kernel, task):
+        vma = kernel.map_anon_region(task, 100, populate=False)
+        kernel.access_range(task, vma.start_vpn, 100, write=True)
+        assert task.mm.owned_local_pages == 100
+
+    def test_touched_mask_limits_faults(self, kernel, task):
+        vma = kernel.map_anon_region(task, 100, populate=False)
+        mask = np.zeros(100, dtype=bool)
+        mask[::10] = True
+        stats = kernel.access_range(
+            task, vma.start_vpn, 100, write=False, touched_mask=mask
+        )
+        assert stats.count(FaultKind.ANON_ZERO) == 10
+
+    def test_clock_advances(self, kernel, task):
+        vma = kernel.map_anon_region(task, 100, populate=False)
+        before = kernel.clock.now
+        stats = kernel.access_range(task, vma.start_vpn, 100, write=False)
+        assert kernel.clock.now - before == int(round(stats.cost_ns))
+
+
+class TestSegfaults:
+    def test_access_outside_vma(self, kernel, task):
+        with pytest.raises(SegfaultError):
+            kernel.access_range(task, 999_999, 1, write=False)
+
+    def test_write_to_readonly_vma(self, kernel, task):
+        vma = kernel.map_file_region(task, "/lib/a.so", 10)
+        with pytest.raises(SegfaultError):
+            kernel.access_range(task, vma.start_vpn, 10, write=True)
+
+
+class TestFileFaults:
+    def test_cold_page_cache_major(self, kernel, task):
+        vma = kernel.map_file_region(task, "/lib/fresh.so", 20, populate=False)
+        stats = kernel.access_range(task, vma.start_vpn, 20, write=False)
+        assert stats.count(FaultKind.FILE_MAJOR) == 20
+
+    def test_warm_page_cache_minor(self, kernel, task):
+        kernel.map_file_region(task, "/lib/warm.so", 20, populate=True)
+        other = kernel.spawn_task("sibling")
+        vma = kernel.map_file_region(other, "/lib/warm.so", 20, populate=False)
+        stats = kernel.access_range(other, vma.start_vpn, 20, write=False)
+        assert stats.count(FaultKind.FILE_MINOR) == 20
+        assert stats.count(FaultKind.FILE_MAJOR) == 0
+
+    def test_page_cache_sharing_no_new_ownership(self, kernel, task):
+        kernel.map_file_region(task, "/lib/shared.so", 20, populate=True)
+        other = kernel.spawn_task("sibling")
+        vma = kernel.map_file_region(other, "/lib/shared.so", 20, populate=False)
+        kernel.access_range(other, vma.start_vpn, 20, write=False)
+        assert other.mm.owned_local_pages == 0  # shared page cache frames
+
+    def test_private_file_write_cows(self, kernel, task):
+        vma = kernel.map_file_region(
+            task, "/data/writable.bin", 10, writable=True, populate=True
+        )
+        stats = kernel.access_range(task, vma.start_vpn, 10, write=True)
+        assert stats.count(FaultKind.COW_LOCAL) == 10
+        assert task.mm.owned_local_pages == 10
+
+
+class TestCow:
+    def test_cow_after_fork(self, kernel, task):
+        vma = kernel.map_anon_region(task, 50, populate=True)
+        child, _ = kernel.local_fork(task)
+        stats = kernel.access_range(child, vma.start_vpn, 50, write=True)
+        assert stats.count(FaultKind.COW_LOCAL) == 50
+        assert child.mm.owned_local_pages == 50
+
+    def test_parent_also_cows_after_fork(self, kernel, task):
+        vma = kernel.map_anon_region(task, 10, populate=True)
+        kernel.local_fork(task)
+        stats = kernel.access_range(task, vma.start_vpn, 10, write=True)
+        assert stats.count(FaultKind.COW_LOCAL) == 10
+
+    def test_read_after_fork_no_fault(self, kernel, task):
+        vma = kernel.map_anon_region(task, 10, populate=True)
+        child, _ = kernel.local_fork(task)
+        stats = kernel.access_range(child, vma.start_vpn, 10, write=False)
+        assert stats.total_faults == 0

@@ -1,0 +1,114 @@
+"""Kernel: local fork semantics and teardown accounting."""
+
+import numpy as np
+import pytest
+
+from repro.os.mm.pte import PteFlags, pte_has
+from repro.os.proc.task import TaskState
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task("parent")
+
+
+class TestLocalFork:
+    def test_child_shares_address_space_layout(self, kernel, task):
+        vma = kernel.map_anon_region(task, 100, populate=True)
+        child, _ = kernel.local_fork(task)
+        assert child.mm.find_vma(vma.start_vpn) is not None
+        assert child.mm.mapped_pages() == 100
+
+    def test_both_sides_write_protected(self, kernel, task):
+        vma = kernel.map_anon_region(task, 10, populate=True)
+        child, _ = kernel.local_fork(task)
+        for t in (task, child):
+            pte = t.mm.pagetable.get_pte(vma.start_vpn)
+            assert pte_has(pte, PteFlags.COW)
+            assert not pte_has(pte, PteFlags.WRITE)
+
+    def test_child_gets_pid_and_registers(self, kernel, task):
+        task.regs.rip = 0xDEAD
+        child, _ = kernel.local_fork(task)
+        assert child.pid != task.pid
+        assert child.regs.rip == 0xDEAD
+        assert child.regs is not task.regs
+
+    def test_fd_table_copied(self, kernel, task):
+        task.fdtable.open("/tmp/x")
+        child, _ = kernel.local_fork(task)
+        assert len(child.fdtable) == 1
+        child.fdtable.open("/tmp/y")
+        assert len(task.fdtable) == 1
+
+    def test_lazy_file_pages_dropped(self, kernel, task):
+        kernel.map_file_region(task, "/lib/a.so", 20, populate=True)
+        child, _ = kernel.local_fork(task)
+        # Zygote-style fork: clean file mappings repopulate lazily (§7.1).
+        assert child.mm.mapped_pages() == 0
+
+    def test_eager_file_pages_kept(self, kernel, task):
+        kernel.map_file_region(task, "/lib/a.so", 20, populate=True)
+        child, _ = kernel.local_fork(task, lazy_file_pages=False)
+        assert child.mm.mapped_pages() == 20
+
+    def test_fork_cost_scales_with_leaves(self, kernel, task):
+        kernel.map_anon_region(task, 512 * 8, populate=True)
+        _, stats_big = kernel.local_fork(task)
+        small_parent = kernel.spawn_task("small")
+        kernel.map_anon_region(small_parent, 10, populate=True)
+        _, stats_small = kernel.local_fork(small_parent)
+        assert stats_big.cost_ns > stats_small.cost_ns
+
+    def test_shared_frames_refcounted(self, kernel, task, node0):
+        vma = kernel.map_anon_region(task, 10, populate=True)
+        used_before = node0.dram.allocated_frames
+        child, _ = kernel.local_fork(task)
+        assert node0.dram.allocated_frames == used_before  # shared, not copied
+        kernel.exit_task(task)
+        # Child still maps the frames; they must not have been freed.
+        assert node0.dram.allocated_frames == used_before
+        kernel.exit_task(child)
+        assert node0.dram.allocated_frames == 0
+
+
+class TestExit:
+    def test_exit_frees_local_memory(self, kernel, task, node0):
+        kernel.map_anon_region(task, 100, populate=True)
+        kernel.exit_task(task)
+        assert node0.dram.allocated_frames == 0
+        assert task.state is TaskState.DEAD
+
+    def test_double_exit_rejected(self, kernel, task):
+        kernel.exit_task(task)
+        with pytest.raises(RuntimeError):
+            kernel.exit_task(task)
+
+    def test_exit_keeps_page_cache(self, kernel, task, node0):
+        kernel.map_file_region(task, "/lib/cached.so", 20, populate=True)
+        kernel.exit_task(task)
+        # The page cache retains the file pages for future processes.
+        assert node0.pagecache.cached_pages("/lib/cached.so") == 20
+        assert node0.dram.allocated_frames == 20
+
+    def test_exit_removed_from_task_list(self, kernel, task):
+        assert task in kernel.tasks()
+        kernel.exit_task(task)
+        assert task not in kernel.tasks()
+
+
+class TestFreezeThaw:
+    def test_freeze_then_thaw(self, task):
+        task.freeze()
+        assert task.state is TaskState.STOPPED
+        task.thaw()
+        assert task.state is TaskState.RUNNING
+
+    def test_double_freeze_rejected(self, task):
+        task.freeze()
+        with pytest.raises(RuntimeError):
+            task.freeze()
+
+    def test_thaw_running_rejected(self, task):
+        with pytest.raises(RuntimeError):
+            task.thaw()

@@ -1,0 +1,65 @@
+"""Cache capacity model and TLB cost model."""
+
+import pytest
+
+from repro.os.mm.cache import CacheModel
+from repro.os.mm.tlb import TlbModel
+from repro.sim.units import MIB
+
+
+class TestCacheModel:
+    def test_small_working_set_always_hits(self):
+        cache = CacheModel(capacity_bytes=64 * MIB)
+        assert cache.rereference_miss_fraction(10 * MIB) == 0.0
+        assert cache.fits(10 * MIB)
+
+    def test_large_working_set_misses(self):
+        cache = CacheModel(capacity_bytes=64 * MIB)
+        frac = cache.rereference_miss_fraction(640 * MIB)
+        assert 0.8 < frac < 1.0
+
+    def test_miss_fraction_monotone_in_ws(self):
+        cache = CacheModel(capacity_bytes=64 * MIB)
+        sizes = [32 * MIB, 64 * MIB, 128 * MIB, 256 * MIB, 1024 * MIB]
+        fracs = [cache.rereference_miss_fraction(s) for s in sizes]
+        assert fracs == sorted(fracs)
+
+    def test_zero_ws(self):
+        assert CacheModel().rereference_miss_fraction(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CacheModel().rereference_miss_fraction(-1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CacheModel(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            CacheModel(utilization=0.0)
+        with pytest.raises(ValueError):
+            CacheModel(utilization=1.5)
+
+    def test_utilization_shrinks_effective(self):
+        tight = CacheModel(capacity_bytes=64 * MIB, utilization=0.5)
+        assert not tight.fits(40 * MIB)
+
+
+class TestTlbModel:
+    def test_paper_shootdown_cost(self):
+        """§4.2.1 measures ~500 ns of TLB coherence per CoW fault."""
+        assert TlbModel().shootdown_ns == 500.0
+
+    def test_zero_pages_free(self):
+        assert TlbModel().shootdown_cost_ns(0) == 0.0
+
+    def test_batched_cheaper_than_unbatched(self):
+        tlb = TlbModel()
+        assert tlb.shootdown_cost_ns(100, batched=True) < tlb.shootdown_cost_ns(
+            100, batched=False
+        )
+
+    def test_single_page_same_either_way(self):
+        tlb = TlbModel()
+        assert tlb.shootdown_cost_ns(1, batched=True) == tlb.shootdown_cost_ns(
+            1, batched=False
+        )

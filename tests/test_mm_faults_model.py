@@ -1,0 +1,88 @@
+"""Fault cost model: the paper's §4.2.1 calibration anchors."""
+
+import pytest
+
+from repro.cxl.latency import MemoryLatencyModel
+from repro.os.mm.faults import DEFAULT_FAULT_COSTS, FaultCostModel, FaultKind
+from repro.sim.units import US
+
+
+@pytest.fixture
+def latency():
+    return MemoryLatencyModel()
+
+
+@pytest.fixture
+def costs():
+    return DEFAULT_FAULT_COSTS
+
+
+class TestPaperAnchors:
+    def test_anon_fault_under_1us(self, costs, latency):
+        """§4.2.1: a regular local anonymous fault costs less than 1 us."""
+        assert costs.cost_ns(FaultKind.ANON_ZERO, latency) < 1 * US
+
+    def test_cxl_cow_fault_near_2_5us(self, costs, latency):
+        """§4.2.1: a CXL CoW fault costs ~2.5 us on average."""
+        ns = costs.cost_ns(FaultKind.COW_CXL, latency)
+        assert 2.2 * US <= ns <= 2.8 * US
+
+    def test_cow_cxl_composition(self, costs, latency):
+        """~1.3 us data movement + ~0.5 us TLB + handler (§4.2.1)."""
+        copy = latency.page_copy_ns(src_cxl=True, dst_cxl=False)
+        total = costs.cost_ns(FaultKind.COW_CXL, latency)
+        assert 1.1 * US <= copy <= 1.5 * US
+        assert total - copy - costs.tlb.shootdown_ns == pytest.approx(costs.cow_base_ns)
+
+
+class TestOrderings:
+    def test_cxl_cow_costlier_than_local_cow(self, costs, latency):
+        assert costs.cost_ns(FaultKind.COW_CXL, latency) > costs.cost_ns(
+            FaultKind.COW_LOCAL, latency
+        )
+
+    def test_major_fault_dominates_minor(self, costs, latency):
+        assert costs.cost_ns(FaultKind.FILE_MAJOR, latency) > 10 * costs.cost_ns(
+            FaultKind.FILE_MINOR, latency
+        )
+
+    def test_cxl_map_is_cheap(self, costs, latency):
+        """Hybrid tiering's map-in-place path moves no data."""
+        assert costs.cost_ns(FaultKind.CXL_MAP, latency) < costs.cost_ns(
+            FaultKind.MOA_COPY, latency
+        )
+
+    def test_moa_cheaper_than_cow_cxl(self, costs, latency):
+        """Both move one page from CXL, but MoA read faults are batched
+        fault-around style while CoW is a per-write trap."""
+        moa = costs.cost_ns(FaultKind.MOA_COPY, latency)
+        cow = costs.cost_ns(FaultKind.COW_CXL, latency)
+        assert moa < cow
+        # The data movement itself is identical.
+        copy = latency.page_copy_ns(src_cxl=True, dst_cxl=False)
+        assert moa > copy
+
+    def test_vma_leaf_cow_scales_with_registrations(self, costs, latency):
+        none = costs.cost_ns(FaultKind.VMA_LEAF_COW, latency)
+        five = costs.cost_ns(FaultKind.VMA_LEAF_COW, latency, file_vmas_to_register=5)
+        assert five == pytest.approx(none + 5 * costs.vma_file_register_ns)
+
+
+class TestLatencySensitivity:
+    def test_fault_costs_track_cxl_latency(self, costs):
+        slow = MemoryLatencyModel()
+        fast = slow.with_cxl_latency(100.0)
+        assert costs.cost_ns(FaultKind.COW_CXL, fast) < costs.cost_ns(
+            FaultKind.COW_CXL, slow
+        )
+
+    def test_local_faults_unaffected(self, costs):
+        slow = MemoryLatencyModel()
+        fast = slow.with_cxl_latency(100.0)
+        assert costs.cost_ns(FaultKind.ANON_ZERO, fast) == costs.cost_ns(
+            FaultKind.ANON_ZERO, slow
+        )
+
+    def test_unknown_kind_rejected(self, costs, latency):
+        with pytest.raises(ValueError):
+            costs.cost_ns("not-a-kind", latency)  # type: ignore[arg-type]

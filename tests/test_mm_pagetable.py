@@ -1,0 +1,164 @@
+"""Page tables: leaves, attachment, privatization, range ops."""
+
+import numpy as np
+import pytest
+
+from repro.os.mm.pagetable import PTES_PER_LEAF, PageTable, PteLeaf
+from repro.os.mm.pte import PteFlags, make_pte, make_ptes
+
+
+def filled_leaf(nframes=PTES_PER_LEAF, base_frame=0, flags=int(PteFlags.PRESENT)):
+    ptes = np.zeros(PTES_PER_LEAF, dtype=np.int64)
+    ptes[:nframes] = make_ptes(
+        np.arange(base_frame, base_frame + nframes, dtype=np.int64), flags
+    )
+    return PteLeaf(ptes)
+
+
+class TestLeaf:
+    def test_empty_by_default(self):
+        assert PteLeaf().present_count() == 0
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            PteLeaf(np.zeros(100, dtype=np.int64))
+
+    def test_shared_when_cxl_resident(self):
+        leaf = PteLeaf(cxl_resident=True)
+        assert leaf.shared
+
+    def test_shared_when_multiply_referenced(self):
+        leaf = PteLeaf()
+        assert not leaf.shared
+        leaf.refcount += 1
+        assert leaf.shared
+
+    def test_clone_is_local_and_private(self):
+        leaf = filled_leaf(10)
+        leaf.cxl_resident = True
+        clone = leaf.clone_local()
+        assert not clone.cxl_resident
+        assert not clone.shared
+        assert clone.present_count() == 10
+        clone.ptes[0] = 0
+        assert leaf.present_count() == 10  # deep copy
+
+
+class TestPteAccess:
+    def test_get_unmapped_is_zero(self):
+        assert PageTable().get_pte(12345) == 0
+
+    def test_set_and_get(self):
+        pt = PageTable()
+        pte = make_pte(99, int(PteFlags.PRESENT))
+        pt.set_pte(1000, pte)
+        assert pt.get_pte(1000) == pte
+
+    def test_set_on_shared_leaf_rejected(self):
+        pt = PageTable()
+        leaf = filled_leaf(1)
+        pt.attach_leaf(0, leaf)
+        with pytest.raises(PermissionError):
+            pt.set_pte(0, make_pte(1, int(PteFlags.PRESENT)))
+
+
+class TestAttachment:
+    def test_attach_shares_by_reference(self):
+        ckpt = PageTable()
+        leaf = filled_leaf(100)
+        ckpt.install_leaf(5, leaf)
+        child = PageTable()
+        child.attach_leaf(5, leaf)
+        assert child.leaf(5) is leaf
+        assert leaf.refcount == 2
+
+    def test_attach_over_existing_rejected(self):
+        pt = PageTable()
+        pt.ensure_leaf(3)
+        with pytest.raises(ValueError):
+            pt.attach_leaf(3, PteLeaf())
+
+    def test_detach_drops_reference(self):
+        pt = PageTable()
+        leaf = filled_leaf(1)
+        pt.attach_leaf(0, leaf)
+        pt.detach_leaf(0)
+        assert leaf.refcount == 1
+        assert not pt.has_leaf(0)
+
+    def test_privatize_copies_shared(self):
+        leaf = filled_leaf(10)
+        a, b = PageTable(), PageTable()
+        a.attach_leaf(0, leaf)
+        b.attach_leaf(0, leaf)
+        private, copied = a.privatize_leaf(0)
+        assert copied
+        assert private is not leaf
+        assert leaf.refcount == 2  # b + original owner
+        assert a.leaf(0).present_count() == 10
+
+    def test_privatize_private_is_noop(self):
+        pt = PageTable()
+        pt.ensure_leaf(0)
+        leaf, copied = pt.privatize_leaf(0)
+        assert not copied
+
+
+class TestRangeOps:
+    def test_map_and_gather(self):
+        pt = PageTable()
+        frames = np.arange(100, 1124, dtype=np.int64)  # spans 3 leaves
+        pt.map_range(300, frames, int(PteFlags.PRESENT))
+        got = pt.gather_ptes(300, 1024)
+        assert ((got >> 16) == frames).all()
+        assert pt.leaf_count == 3
+
+    def test_gather_with_holes(self):
+        pt = PageTable()
+        pt.map_range(0, np.array([1], dtype=np.int64), int(PteFlags.PRESENT))
+        got = pt.gather_ptes(0, 600)
+        assert got[0] != 0
+        assert (got[1:] == 0).all()
+
+    def test_map_into_shared_rejected(self):
+        pt = PageTable()
+        pt.attach_leaf(0, filled_leaf(1))
+        with pytest.raises(PermissionError):
+            pt.map_range(0, np.array([5], dtype=np.int64), int(PteFlags.PRESENT))
+
+    def test_count_present_and_flags(self):
+        pt = PageTable()
+        pt.map_range(
+            0,
+            np.arange(10, dtype=np.int64),
+            int(PteFlags.PRESENT | PteFlags.DIRTY),
+        )
+        pt.map_range(512, np.arange(5, dtype=np.int64), int(PteFlags.PRESENT))
+        assert pt.count_present() == 15
+        assert pt.count_flag(int(PteFlags.DIRTY)) == 10
+
+
+class TestStructureAccounting:
+    def test_upper_level_tables_empty(self):
+        assert PageTable().upper_level_tables() == 1  # the root
+
+    def test_upper_level_tables_small_process(self):
+        pt = PageTable()
+        for i in range(4):
+            pt.ensure_leaf(i)
+        # 4 leaves share one PMD, one PUD, one PGD.
+        assert pt.upper_level_tables() == 3
+
+    def test_upper_levels_grow_slowly(self):
+        pt = PageTable()
+        for i in range(1024):  # 2 GiB of leaves
+            pt.ensure_leaf(i)
+        assert pt.upper_level_tables() <= 5
+
+    def test_local_table_pages_excludes_attached(self):
+        pt = PageTable()
+        pt.ensure_leaf(0)
+        pt.attach_leaf(1, PteLeaf(cxl_resident=True))
+        assert pt.shared_leaf_count() == 1
+        # 1 private leaf + uppers; the attached CXL leaf costs nothing local.
+        assert pt.local_table_pages() == 1 + pt.upper_level_tables()

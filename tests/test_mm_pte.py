@@ -1,0 +1,91 @@
+"""PTE encoding: scalar and vectorized helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cxl.device import CXL_FRAME_BASE
+from repro.os.mm.pte import (
+    PTE_FLAG_MASK,
+    PTE_FRAME_SHIFT,
+    PteFlags,
+    make_pte,
+    make_ptes,
+    pte_flags,
+    pte_frame,
+    pte_has,
+    ptes_any_flag,
+    ptes_clear_flags,
+    ptes_flag_mask,
+    ptes_frames,
+    ptes_set_flags,
+)
+
+
+class TestScalarEncoding:
+    def test_roundtrip(self):
+        pte = make_pte(12345, int(PteFlags.PRESENT | PteFlags.WRITE))
+        assert pte_frame(pte) == 12345
+        assert pte_flags(pte) == int(PteFlags.PRESENT | PteFlags.WRITE)
+
+    def test_cxl_frame_fits(self):
+        frame = CXL_FRAME_BASE + 999_999
+        pte = make_pte(frame, int(PteFlags.PRESENT))
+        assert pte_frame(pte) == frame
+        assert pte < 2**63  # stays a valid int64
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ValueError):
+            make_pte(-1, 0)
+
+    def test_flag_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            make_pte(0, 1 << PTE_FRAME_SHIFT)
+
+    def test_pte_has(self):
+        pte = make_pte(1, int(PteFlags.PRESENT | PteFlags.ACCESSED))
+        assert pte_has(pte, PteFlags.PRESENT)
+        assert pte_has(pte, PteFlags.PRESENT | PteFlags.ACCESSED)
+        assert not pte_has(pte, PteFlags.DIRTY)
+
+
+class TestVectorized:
+    def test_make_and_extract(self):
+        frames = np.array([10, 20, 30], dtype=np.int64)
+        ptes = make_ptes(frames, int(PteFlags.PRESENT))
+        assert ptes_frames(ptes).tolist() == [10, 20, 30]
+
+    def test_flag_mask_requires_all(self):
+        ptes = np.array(
+            [
+                make_pte(1, int(PteFlags.PRESENT)),
+                make_pte(2, int(PteFlags.PRESENT | PteFlags.DIRTY)),
+            ],
+            dtype=np.int64,
+        )
+        both = ptes_flag_mask(ptes, int(PteFlags.PRESENT | PteFlags.DIRTY))
+        assert both.tolist() == [False, True]
+
+    def test_any_flag(self):
+        ptes = np.array(
+            [make_pte(1, int(PteFlags.DIRTY)), make_pte(2, 0)], dtype=np.int64
+        )
+        assert ptes_any_flag(ptes, int(PteFlags.DIRTY | PteFlags.ACCESSED)).tolist() == [
+            True,
+            False,
+        ]
+
+    def test_set_and_clear(self):
+        ptes = make_ptes(np.arange(4, dtype=np.int64), int(PteFlags.PRESENT))
+        mask = np.array([True, False, True, False])
+        ptes_set_flags(ptes, mask, int(PteFlags.ACCESSED))
+        assert ptes_flag_mask(ptes, int(PteFlags.ACCESSED)).tolist() == [
+            True, False, True, False,
+        ]
+        ptes_clear_flags(ptes, np.ones(4, dtype=bool), int(PteFlags.ACCESSED))
+        assert not ptes_any_flag(ptes, int(PteFlags.ACCESSED)).any()
+
+    def test_frames_preserved_by_flag_ops(self):
+        frames = np.array([7, 8], dtype=np.int64)
+        ptes = make_ptes(frames, int(PteFlags.PRESENT))
+        ptes_set_flags(ptes, np.ones(2, dtype=bool), int(PteFlags.DIRTY))
+        assert ptes_frames(ptes).tolist() == [7, 8]

@@ -1,0 +1,88 @@
+"""Per-node page cache."""
+
+import numpy as np
+import pytest
+
+from repro.cxl.allocator import FrameAllocator
+from repro.os.pagecache import PageCache
+
+
+@pytest.fixture
+def dram():
+    return FrameAllocator("dram", base=0, capacity_frames=10_000)
+
+
+@pytest.fixture
+def cache(dram):
+    return PageCache(dram)
+
+
+class TestEnsureRange:
+    def test_first_load_is_all_new(self, cache):
+        newly, frames = cache.ensure_range("/lib/a.so", 0, 50)
+        assert newly == 50
+        assert frames.size == 50
+        assert len(set(frames.tolist())) == 50
+
+    def test_second_load_hits(self, cache):
+        cache.ensure_range("/lib/a.so", 0, 50)
+        newly, frames = cache.ensure_range("/lib/a.so", 0, 50)
+        assert newly == 0
+        assert frames.size == 50
+
+    def test_partial_overlap(self, cache):
+        cache.ensure_range("/lib/a.so", 0, 30)
+        newly, _ = cache.ensure_range("/lib/a.so", 20, 30)
+        assert newly == 20
+
+    def test_stable_frames(self, cache):
+        _, first = cache.ensure_range("/lib/a.so", 0, 10)
+        _, second = cache.ensure_range("/lib/a.so", 0, 10)
+        assert (first == second).all()
+
+    def test_empty_range(self, cache):
+        newly, frames = cache.ensure_range("/lib/a.so", 0, 0)
+        assert newly == 0 and frames.size == 0
+
+
+class TestEnsurePages:
+    def test_exact_indices_only(self, cache, dram):
+        pages = np.array([5, 50, 500], dtype=np.int64)
+        newly, frames = cache.ensure_pages("/lib/b.so", pages)
+        assert newly == 3
+        assert dram.allocated_frames == 3  # no window over-fetch
+
+    def test_mixed_hits_and_misses(self, cache):
+        cache.ensure_pages("/lib/b.so", np.array([1, 2], dtype=np.int64))
+        newly, frames = cache.ensure_pages(
+            "/lib/b.so", np.array([2, 3], dtype=np.int64)
+        )
+        assert newly == 1
+        assert frames.size == 2
+
+    def test_empty(self, cache):
+        newly, frames = cache.ensure_pages("/x", np.empty(0, dtype=np.int64))
+        assert newly == 0 and frames.size == 0
+
+
+class TestAccountingAndEviction:
+    def test_cached_pages(self, cache):
+        cache.ensure_range("/lib/a.so", 0, 25)
+        assert cache.cached_pages("/lib/a.so") == 25
+        assert cache.cached_pages("/lib/missing.so") == 0
+        assert cache.total_cached_pages() == 25
+
+    def test_drop_file_frees_frames(self, cache, dram):
+        cache.ensure_range("/lib/a.so", 0, 25)
+        freed = cache.drop_file("/lib/a.so")
+        assert freed == 25
+        assert dram.allocated_frames == 0
+
+    def test_drop_respects_mapping_refs(self, cache, dram):
+        _, frames = cache.ensure_range("/lib/a.so", 0, 5)
+        dram.get(frames)  # a process maps them
+        cache.drop_file("/lib/a.so")
+        assert dram.allocated_frames == 5  # still referenced by the mapping
+
+    def test_drop_missing(self, cache):
+        assert cache.drop_file("/nope") == 0

@@ -1,0 +1,58 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_bar_chart, ascii_series
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = ascii_bar_chart([("g", {"a": 100.0, "b": 50.0})], width=20)
+        lines = chart.splitlines()
+        a_bar = lines[1].count("█")
+        b_bar = lines[2].count("█")
+        assert a_bar == 20
+        assert b_bar == pytest.approx(10, abs=1)
+
+    def test_zero_value_draws_empty(self):
+        chart = ascii_bar_chart([("g", {"a": 10.0, "b": 0.0})])
+        assert "0.00" in chart
+
+    def test_empty_input(self):
+        assert ascii_bar_chart([]) == "(no data)"
+
+    def test_unit_and_note(self):
+        chart = ascii_bar_chart(
+            [("g", {"a": 1.0})], unit=" ms", log_note=True
+        )
+        assert " ms" in chart
+        assert "scaled" in chart
+
+    def test_multiple_groups(self):
+        chart = ascii_bar_chart(
+            [("bert", {"cxlfork": 1.0}), ("float", {"cxlfork": 0.5})]
+        )
+        assert "bert" in chart and "float" in chart
+
+
+class TestSeries:
+    def test_contains_axes_and_legend(self):
+        text = ascii_series(
+            [1.0, 2.0], {"a": [0.0, 1.0], "b": [1.0, 0.0]},
+            x_label="x", y_label="y",
+        )
+        assert "y" in text.splitlines()[0]
+        assert "o a" in text and "x b" in text
+        assert "└" in text
+
+    def test_flat_series_no_crash(self):
+        text = ascii_series([0.0, 1.0], {"flat": [5.0, 5.0]})
+        assert "flat" in text
+
+    def test_empty(self):
+        assert ascii_series([], {}) == "(no data)"
+
+    def test_marker_positions(self):
+        text = ascii_series([0.0, 1.0], {"up": [0.0, 10.0]}, width=10, height=5)
+        first_row = text.splitlines()[0]
+        assert "o" in first_row  # the max lands on the top row

@@ -1,0 +1,277 @@
+"""CXLporter end-to-end: request paths, keep-alive, pressure, protocol."""
+
+import pytest
+
+from repro.cxl.topology import PodTopology
+from repro.faas.traces import Request, TraceConfig, generate_trace
+from repro.os.fs.cxlfs import CxlFileSystem
+from repro.porter.autoscaler import CxlPorter, PorterConfig
+from repro.porter.keepalive import KeepAlivePolicy
+from repro.sim.units import GIB, MS, SEC
+
+
+def build_porter(mechanism="cxlfork", *, dram_gib=8, cpu=8, **config_kw):
+    fabric, nodes = PodTopology.paper_testbed(
+        dram_bytes=dram_gib * GIB, cxl_bytes=16 * GIB, cpu_count=cpu
+    ).build()
+    config = PorterConfig(mechanism=mechanism, **config_kw)
+    cxlfs = CxlFileSystem(fabric) if mechanism == "criu-cxl" else None
+    porter = CxlPorter(nodes, fabric, config=config, cxlfs=cxlfs)
+    return porter, fabric, nodes
+
+
+def requests_for(fn, times_s):
+    return [
+        Request(when=int(t * SEC), function=fn, request_id=i)
+        for i, t in enumerate(times_s)
+    ]
+
+
+class TestRequestPaths:
+    def test_restore_then_warm(self):
+        porter, _, _ = build_porter()
+        porter.register_function("float")
+        porter.prewarm_and_checkpoint("float")
+        metrics = porter.run(requests_for("float", [0.0, 1.0, 2.0]))
+        kinds = metrics.start_kind_counts()
+        assert kinds["restore"] == 1  # first request restores
+        assert kinds["warm"] == 2  # later ones reuse the instance
+
+    def test_cold_start_without_checkpoint(self):
+        porter, _, _ = build_porter()
+        porter.register_function("float")
+        metrics = porter.run(requests_for("float", [0.0]))
+        assert metrics.start_kind_counts() == {"cold": 1}
+        # Cold start pays container creation + state init.
+        assert metrics.p50_ms("float") > 300.0
+
+    def test_restore_much_faster_than_cold(self):
+        porter, _, _ = build_porter()
+        porter.register_function("float")
+        porter.prewarm_and_checkpoint("float")
+        metrics = porter.run(requests_for("float", [0.0]))
+        assert metrics.p50_ms("float") < 30.0  # ghost + CXLfork restore
+
+    def test_unregistered_function_rejected(self):
+        porter, _, _ = build_porter()
+        with pytest.raises(KeyError):
+            porter.submit(Request(when=0, function="ghost-fn", request_id=0))
+
+    def test_concurrent_burst_spawns_instances(self):
+        porter, _, _ = build_porter(cpu=8)
+        porter.register_function("cnn")
+        porter.prewarm_and_checkpoint("cnn")
+        # Four simultaneous requests: one instance can't serve them all.
+        metrics = porter.run(requests_for("cnn", [0.0, 0.0, 0.0, 0.0]))
+        assert metrics.start_kind_counts()["restore"] >= 2
+
+    def test_cpu_slots_queue_requests(self):
+        porter, _, _ = build_porter(cpu=1)
+        porter.register_function("cnn")
+        porter.prewarm_and_checkpoint("cnn")
+        metrics = porter.run(requests_for("cnn", [0.0] * 4))
+        # One slot per node, two nodes: the queue serializes the rest.
+        p99 = metrics.p99_ms("cnn")
+        p50 = metrics.p50_ms("cnn")
+        assert p99 > 1.5 * p50
+
+
+class TestOnlineCheckpointProtocol:
+    def test_checkpoint_taken_after_threshold(self):
+        porter, _, _ = build_porter(checkpoint_after=4, clear_ad_after=1)
+        porter.register_function("float")
+        metrics = porter.run(requests_for("float", [0.1 * i for i in range(6)]))
+        assert len(porter.store) == 1
+        entry = porter.store.query(porter.config.user, "float")
+        assert entry is not None
+        assert entry.mechanism == "cxlfork"
+
+    def test_no_checkpoint_before_threshold(self):
+        porter, _, _ = build_porter(checkpoint_after=50)
+        porter.register_function("float")
+        porter.run(requests_for("float", [0.1 * i for i in range(5)]))
+        assert len(porter.store) == 0
+
+
+class TestKeepAlive:
+    def test_idle_instance_evicted_after_window(self):
+        keepalive = KeepAlivePolicy(
+            normal_window_ns=2 * SEC, pressured_window_ns=1 * SEC
+        )
+        porter, _, nodes = build_porter(keepalive=keepalive)
+        porter.register_function("float")
+        porter.prewarm_and_checkpoint("float")
+        metrics = porter.run(
+            requests_for("float", [0.0, 5.0]), until=int(10 * SEC)
+        )
+        kinds = metrics.start_kind_counts()
+        # The instance idled past its window, so the second request
+        # restores again rather than finding it warm.
+        assert kinds["restore"] == 2
+
+    def test_reuse_within_window_cancels_expiry(self):
+        keepalive = KeepAlivePolicy(
+            normal_window_ns=3 * SEC, pressured_window_ns=1 * SEC
+        )
+        porter, _, _ = build_porter(keepalive=keepalive)
+        porter.register_function("float")
+        porter.prewarm_and_checkpoint("float")
+        metrics = porter.run(
+            requests_for("float", [0.0, 1.0, 2.0, 3.0, 4.0]), until=int(10 * SEC)
+        )
+        assert metrics.start_kind_counts()["restore"] == 1
+
+
+class TestMemoryPressure:
+    def test_eviction_makes_room(self):
+        # Nodes sized so float + bert cannot be resident together.
+        porter, _, nodes = build_porter(dram_gib=1, cpu=8)
+        porter.register_function("float")
+        porter.register_function("bert")
+        porter.prewarm_and_checkpoint("float", node=nodes[0])
+        porter.prewarm_and_checkpoint("bert", node=nodes[1])
+        reqs = requests_for("float", [0.0]) + [
+            Request(when=int(1 * SEC), function="bert", request_id=100),
+            Request(when=int(3 * SEC), function="bert", request_id=101),
+        ]
+        metrics = porter.run(reqs, until=int(60 * SEC))
+        assert metrics.count() == 3  # everything eventually served
+
+    def test_mitosis_template_survives_eviction(self):
+        porter, _, nodes = build_porter("mitosis-cxl", dram_gib=8)
+        porter.register_function("float")
+        entry = porter.prewarm_and_checkpoint("float")
+        template = entry.template
+        porter._teardown(template)  # must be a no-op
+        from repro.os.proc.task import TaskState
+
+        assert template.instance.task.state is TaskState.RUNNING
+
+
+class TestArms:
+    @pytest.mark.parametrize("mechanism", ["cxlfork", "criu-cxl", "mitosis-cxl"])
+    def test_each_arm_serves_trace(self, mechanism):
+        porter, _, _ = build_porter(mechanism)
+        porter.register_function("json")
+        porter.prewarm_and_checkpoint("json")
+        trace = generate_trace(
+            TraceConfig(total_rps=20, duration_s=2, seed=3, functions=["json"])
+        )
+        metrics = porter.run(trace)
+        assert metrics.count() == len(trace)
+        assert metrics.p99_ms() is not None
+
+    def test_static_mow_never_promotes(self):
+        porter, _, nodes = build_porter(static_mow=True)
+        porter.register_function("bert")
+        porter.prewarm_and_checkpoint("bert")
+        porter.run(requests_for("bert", [0.1 * i for i in range(12)]))
+        assert not porter.controller.is_promoted("bert")
+
+    def test_dynamic_promotes_bert(self):
+        porter, _, _ = build_porter()
+        porter.register_function("bert")
+        porter.prewarm_and_checkpoint("bert")
+        porter.run(requests_for("bert", [0.3 * i for i in range(12)]))
+        assert porter.controller.is_promoted("bert")
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            build_porter("localfork")
+
+
+class TestCxlPressure:
+    def test_checkpoint_reclaim_under_device_pressure(self):
+        """§5: CXLporter reclaims checkpoints when the CXL device fills."""
+        from repro.sim.units import GIB
+
+        # A device barely big enough for one large checkpoint.
+        fabric, nodes = PodTopology.paper_testbed(
+            dram_bytes=8 * GIB, cxl_bytes=1 * GIB, cpu_count=8
+        ).build()
+        porter = CxlPorter(nodes, fabric, config=PorterConfig(mechanism="cxlfork"))
+        porter.register_function("float")  # 24 MB
+        porter.register_function("bfs")  # 125 MB
+        porter.prewarm_and_checkpoint("float")
+        before = len(porter.store)
+        # Fill the device so the next checkpoint must reclaim.
+        filler = fabric.alloc_frames((880 << 20) >> 12)
+        porter.prewarm_and_checkpoint("bfs")
+        assert porter.store.contains(porter.config.user, "bfs")
+        # The older float checkpoint was evicted to make room.
+        assert not porter.store.contains(porter.config.user, "float")
+        fabric.put_frames(filler)
+
+    def test_evicted_function_recheckpoints_online(self):
+        from repro.sim.units import GIB, SEC
+
+        fabric, nodes = PodTopology.paper_testbed(
+            dram_bytes=8 * GIB, cxl_bytes=16 * GIB, cpu_count=8
+        ).build()
+        porter = CxlPorter(
+            nodes, fabric, config=PorterConfig(mechanism="cxlfork", checkpoint_after=2)
+        )
+        porter.register_function("float")
+        porter.prewarm_and_checkpoint("float")
+        entry = porter.store.query(porter.config.user, "float")
+        porter._cxl_reclaim(entry.checkpoint.data_frames.size + 1)
+        assert not porter.store.contains(porter.config.user, "float")
+        # Serving traffic re-checkpoints after the configured count.
+        metrics = porter.run(requests_for("float", [0.1 * i for i in range(4)]))
+        assert metrics.count() == 4
+        assert porter.store.contains(porter.config.user, "float")
+
+
+class TestGhostFallback:
+    def test_exhausted_pool_falls_back_to_full_container(self):
+        porter, _, nodes = build_porter(ghost_pool_per_function=1, cpu=8)
+        porter.register_function("cnn")
+        porter.prewarm_and_checkpoint("cnn")
+        # Six simultaneous requests need several instances per node; each
+        # node has only one ghost, so later restores create full containers
+        # and pay the ~130 ms creation cost.
+        metrics = porter.run(requests_for("cnn", [0.0] * 6))
+        assert metrics.count() == 6
+        p99 = metrics.p99_ms("cnn")
+        assert p99 > 130.0  # someone paid for container creation
+
+    def test_ghosts_reused_after_eviction(self):
+        keepalive = KeepAlivePolicy(
+            normal_window_ns=1 * SEC, pressured_window_ns=1 * SEC
+        )
+        porter, _, nodes = build_porter(keepalive=keepalive)
+        porter.register_function("float")
+        porter.prewarm_and_checkpoint("float")
+        porter.run(
+            requests_for("float", [0.0, 3.0, 6.0]), until=int(20 * SEC)
+        )
+        # Each keep-alive eviction returned its ghost to the pool.
+        total_free = sum(
+            pool.free_count("float") for pool in porter.ghostpools.values()
+        )
+        total = sum(pool.total_count for pool in porter.ghostpools.values())
+        assert total_free == total
+
+
+class TestSchedulerSpread:
+    def test_parallel_starts_spread_across_nodes(self):
+        porter, _, nodes = build_porter(cpu=4)
+        porter.register_function("cnn")
+        porter.prewarm_and_checkpoint("cnn")
+        porter.run(requests_for("cnn", [0.0] * 8))
+        # Both nodes ended up hosting instances.
+        hosting = [
+            name
+            for name, pools in porter._idle.items()
+            if pools.get("cnn")
+        ]
+        assert len(hosting) == 2
+
+    def test_warm_preferred_over_restore(self):
+        porter, _, _ = build_porter()
+        porter.register_function("float")
+        porter.prewarm_and_checkpoint("float")
+        metrics = porter.run(requests_for("float", [0.0, 1.0, 2.0, 3.0]))
+        kinds = metrics.start_kind_counts()
+        assert kinds["restore"] == 1
+        assert kinds["warm"] == 3

@@ -1,0 +1,77 @@
+"""Property-based tests: frame-allocator invariants under random workloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cxl.allocator import FrameAllocator, OutOfMemoryError
+
+
+@st.composite
+def alloc_free_scripts(draw):
+    """A sequence of (op, size) actions."""
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(["alloc", "free", "share"]),
+                      st.integers(min_value=1, max_value=64)),
+            max_size=40,
+        )
+    )
+
+
+class TestAllocatorProperties:
+    @given(alloc_free_scripts())
+    @settings(max_examples=150)
+    def test_invariants_hold(self, script):
+        pool = FrameAllocator("prop", base=100, capacity_frames=512)
+        refs: dict[int, int] = {}  # the reference-count model
+        handles: list[np.ndarray] = []  # every reference we hold
+
+        def model_put(frames: np.ndarray) -> None:
+            for f in frames.tolist():
+                refs[f] -= 1
+                if refs[f] == 0:
+                    del refs[f]
+
+        for op, size in script:
+            if op == "alloc":
+                try:
+                    frames = pool.alloc_many(size)
+                except OutOfMemoryError:
+                    continue
+                for f in frames.tolist():
+                    assert f not in refs  # never hand out a live frame
+                    refs[f] = 1
+                handles.append(frames)
+            elif op == "free" and handles:
+                frames = handles.pop()
+                pool.put(frames)
+                model_put(frames)
+            elif op == "share" and handles:
+                frames = handles[-1]
+                pool.get(frames)
+                for f in frames.tolist():
+                    refs[f] += 1
+                handles.append(frames)
+        # Invariant: allocated == frames with a positive model refcount.
+        assert pool.allocated_frames == len(refs)
+        assert 0 <= pool.allocated_frames <= pool.capacity_frames
+        for f, count in refs.items():
+            assert pool.refcount(f) == count
+        # Cleanup: dropping every remaining reference empties the pool.
+        for frames in handles:
+            pool.put(frames)
+        assert pool.allocated_frames == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=32), max_size=20))
+    def test_no_frame_handed_out_twice(self, sizes):
+        pool = FrameAllocator("prop", base=0, capacity_frames=1024)
+        seen: set = set()
+        for size in sizes:
+            try:
+                frames = pool.alloc_many(size)
+            except OutOfMemoryError:
+                break
+            overlap = seen & set(frames.tolist())
+            assert not overlap
+            seen.update(frames.tolist())

@@ -1,0 +1,70 @@
+"""Property-based tests: event-queue ordering under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1000),  # when
+        st.integers(min_value=0, max_value=3),  # priority
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestEventOrderingProperties:
+    @given(schedules)
+    @settings(max_examples=150)
+    def test_dispatch_order_is_total(self, entries):
+        q = EventQueue()
+        fired = []
+        for index, (when, priority) in enumerate(entries):
+            q.schedule(
+                when,
+                lambda i=index: fired.append(i),
+                priority=priority,
+            )
+        q.run()
+        assert len(fired) == len(entries)
+        # Dispatch must follow (when, priority, insertion) order.
+        keys = [(entries[i][0], entries[i][1], i) for i in fired]
+        assert keys == sorted(keys)
+
+    @given(schedules, st.integers(min_value=0, max_value=1000))
+    def test_run_until_is_a_clean_cut(self, entries, horizon):
+        q = EventQueue()
+        fired = []
+        for index, (when, priority) in enumerate(entries):
+            q.schedule(when, lambda w=when: fired.append(w), priority=priority)
+        q.run(until=horizon)
+        assert all(w <= horizon for w in fired)
+        assert len(q) == sum(1 for when, _ in entries if when > horizon)
+
+    @given(schedules, st.data())
+    def test_cancellation_removes_exactly_the_cancelled(self, entries, data):
+        q = EventQueue()
+        fired = []
+        events = [
+            q.schedule(when, lambda i=i: fired.append(i), priority=p)
+            for i, (when, p) in enumerate(entries)
+        ]
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(events) - 1),
+                    max_size=len(events))
+        )
+        for i in to_cancel:
+            q.cancel(events[i])
+        q.run()
+        assert set(fired) == set(range(len(events))) - to_cancel
+
+    @given(schedules)
+    def test_now_is_monotonic(self, entries):
+        q = EventQueue()
+        observed = []
+        for when, priority in entries:
+            q.schedule(when, lambda: observed.append(q.now), priority=priority)
+        q.run()
+        assert observed == sorted(observed)

@@ -1,0 +1,84 @@
+"""Property-based tests: page-table map/gather and sharing invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.os.mm.pagetable import PTES_PER_LEAF, PageTable, PteLeaf
+from repro.os.mm.pte import PteFlags, make_ptes
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=5000),  # start vpn
+    st.integers(min_value=1, max_value=1500),  # npages
+)
+
+
+class TestMapGatherProperties:
+    @given(st.lists(ranges, min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_last_write_wins_and_gather_reflects_it(self, spans):
+        pt = PageTable()
+        expected: dict[int, int] = {}
+        next_frame = 1
+        for start, npages in spans:
+            frames = np.arange(next_frame, next_frame + npages, dtype=np.int64)
+            next_frame += npages
+            pt.map_range(start, frames, int(PteFlags.PRESENT))
+            for i in range(npages):
+                expected[start + i] = int(frames[i])
+        lo = min(expected)
+        hi = max(expected) + 1
+        got = pt.gather_ptes(lo, hi - lo)
+        for vpn in range(lo, hi):
+            want = expected.get(vpn)
+            have = int(got[vpn - lo]) >> 16
+            if want is None:
+                assert got[vpn - lo] == 0
+            else:
+                assert have == want
+
+    @given(ranges)
+    def test_count_present_matches_mapped(self, span):
+        start, npages = span
+        pt = PageTable()
+        pt.map_range(
+            start, np.arange(npages, dtype=np.int64), int(PteFlags.PRESENT)
+        )
+        assert pt.count_present() == npages
+
+    @given(st.integers(min_value=1, max_value=PTES_PER_LEAF))
+    def test_privatize_preserves_contents(self, n):
+        ptes = np.zeros(PTES_PER_LEAF, dtype=np.int64)
+        ptes[:n] = make_ptes(np.arange(n, dtype=np.int64), int(PteFlags.PRESENT))
+        leaf = PteLeaf(ptes, cxl_resident=True)
+        pt = PageTable()
+        pt.attach_leaf(0, leaf)
+        private, copied = pt.privatize_leaf(0)
+        assert copied
+        assert (private.ptes == leaf.ptes).all()
+        assert not private.shared
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=30, unique=True))
+    def test_upper_levels_bounded(self, leaf_indices):
+        pt = PageTable()
+        for li in leaf_indices:
+            pt.ensure_leaf(li)
+        uppers = pt.upper_level_tables()
+        # Never more tables than leaves + the three fixed levels.
+        assert 1 <= uppers <= len(leaf_indices) + 3
+
+
+class TestRefcountProperties:
+    @given(st.integers(min_value=1, max_value=8))
+    def test_attach_detach_balance(self, sharers):
+        leaf = PteLeaf(cxl_resident=True)
+        tables = []
+        for _ in range(sharers):
+            pt = PageTable()
+            pt.attach_leaf(7, leaf)
+            tables.append(pt)
+        assert leaf.refcount == 1 + sharers
+        for pt in tables:
+            pt.detach_leaf(7)
+        assert leaf.refcount == 1

@@ -1,0 +1,90 @@
+"""Property-based robustness: CXLporter under random traces and sizes.
+
+Whatever the arrival pattern, pod sizing, or keep-alive window, the
+autoscaler must never lose a request (served or still pending at the
+horizon — never dropped), never corrupt memory accounting, and leave the
+pod reclaimable.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cxl.topology import PodTopology
+from repro.faas.traces import Request
+from repro.porter.autoscaler import CxlPorter, PorterConfig
+from repro.porter.keepalive import KeepAlivePolicy
+from repro.sim.units import GIB, SEC
+
+
+@st.composite
+def porter_scenarios(draw):
+    arrivals = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=4.0),  # arrival (s)
+                st.sampled_from(["float", "json", "cnn"]),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    dram_gib = draw(st.sampled_from([1, 2, 8]))
+    cpu = draw(st.sampled_from([1, 4, 8]))
+    window_s = draw(st.sampled_from([1, 5, 600]))
+    prewarm = draw(st.booleans())
+    return arrivals, dram_gib, cpu, window_s, prewarm
+
+
+class TestPorterRobustness:
+    @given(porter_scenarios())
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_no_request_lost_no_memory_corruption(self, scenario):
+        arrivals, dram_gib, cpu, window_s, prewarm = scenario
+        fabric, nodes = PodTopology.paper_testbed(
+            dram_bytes=dram_gib * GIB, cxl_bytes=16 * GIB, cpu_count=cpu
+        ).build()
+        porter = CxlPorter(
+            nodes,
+            fabric,
+            config=PorterConfig(
+                mechanism="cxlfork",
+                keepalive=KeepAlivePolicy(
+                    normal_window_ns=window_s * SEC,
+                    pressured_window_ns=min(window_s, 10) * SEC,
+                ),
+            ),
+        )
+        for fn in {name for _, name in arrivals}:
+            porter.register_function(fn)
+            if prewarm:
+                porter.prewarm_and_checkpoint(fn)
+        requests = [
+            Request(when=int(t * SEC), function=fn, request_id=i)
+            for i, (t, fn) in enumerate(sorted(arrivals))
+        ]
+        metrics = porter.run(requests, until=int(120 * SEC))
+
+        # Every request was served within the generous horizon.
+        assert metrics.count() == len(requests)
+        # Memory accounting stayed sane on every node.
+        for node in nodes:
+            assert 0 <= node.dram.allocated_frames <= node.dram.capacity_frames
+            for task in node.kernel.tasks():
+                assert task.mm.owned_local_pages >= 0
+        # Tearing down every remaining instance releases its memory.
+        for node_pools in porter._idle.values():
+            for pool in node_pools.values():
+                for record in list(pool):
+                    porter._teardown(record)
+        for node in nodes:
+            leftover = node.dram.allocated_frames
+            cache = node.pagecache.total_cached_pages()
+            # What remains is page cache + ghost reservations (+ a little
+            # slack for Mitosis-style templates, absent here).
+            ghost_frames = porter.ghostpools[node.name].total_count * 128
+            assert leftover <= cache + ghost_frames + 64

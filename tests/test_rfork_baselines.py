@@ -1,0 +1,108 @@
+"""LocalFork and ColdStart baselines, plus the registry."""
+
+import pytest
+
+from repro.faas.workload import FunctionWorkload
+from repro.rfork.coldstart import ColdStart
+from repro.rfork.localfork import LocalFork
+from repro.rfork.registry import MECHANISMS, get_mechanism
+
+
+@pytest.fixture
+def parent(pod):
+    workload = FunctionWorkload("float")
+    instance = workload.build_instance(pod.source)
+    workload.season(instance)
+    return workload, instance
+
+
+class TestLocalFork:
+    def test_checkpoint_is_the_parent(self, parent):
+        _, instance = parent
+        mech = LocalFork()
+        ckpt, metrics = mech.checkpoint(instance.task)
+        assert ckpt is instance.task
+        assert metrics.latency_ns == 0
+
+    def test_restore_forks_on_same_node(self, pod, parent):
+        workload, instance = parent
+        mech = LocalFork()
+        result = mech.restore(instance.task, pod.source)
+        assert result.task.pid != instance.task.pid
+        assert result.task.node is pod.source
+        assert result.metrics.latency_ns > 0
+
+    def test_cross_node_rejected(self, pod, parent):
+        _, instance = parent
+        with pytest.raises(ValueError):
+            LocalFork().restore(instance.task, pod.target)
+
+    def test_delete_keeps_parent_alive(self, parent):
+        from repro.os.proc.task import TaskState
+
+        _, instance = parent
+        LocalFork().delete_checkpoint(instance.task)
+        assert instance.task.state is TaskState.RUNNING
+
+    def test_no_policy(self, pod, parent):
+        from repro.tiering import MigrateOnWrite
+
+        _, instance = parent
+        with pytest.raises(ValueError):
+            LocalFork().restore(instance.task, pod.source, policy=MigrateOnWrite())
+
+
+class TestColdStart:
+    def test_restore_builds_and_charges_init(self, pod, parent):
+        workload, instance = parent
+        mech = ColdStart(workload.builder())
+        image, _ = mech.checkpoint(instance.task)
+        result = mech.restore(image, pod.target)
+        assert result.task.comm == "float"
+        assert result.metrics.latency_ns == pytest.approx(
+            workload.spec.state_init_ns
+        )
+        assert result.task.mm.mapped_pages() > 0
+
+    def test_builder_mismatch_detected(self, pod, parent):
+        workload, instance = parent
+        other = FunctionWorkload("json")
+        mech = ColdStart(other.builder())
+        image, _ = mech.checkpoint(instance.task)
+        with pytest.raises(ValueError):
+            mech.restore(image, pod.target)
+
+    def test_image_delete_noop(self, parent):
+        workload, instance = parent
+        mech = ColdStart(workload.builder())
+        image, _ = mech.checkpoint(instance.task)
+        image.delete()
+
+
+class TestRegistry:
+    def test_all_mechanisms_buildable(self, pod):
+        workload = FunctionWorkload("float")
+        for name in MECHANISMS:
+            mech = get_mechanism(
+                name,
+                fabric=pod.fabric,
+                cxlfs=pod.cxlfs,
+                builder=workload.builder(),
+            )
+            assert mech.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_mechanism("teleport")
+
+    def test_criu_needs_fs(self):
+        with pytest.raises(ValueError):
+            get_mechanism("criu-cxl")
+
+    def test_cold_needs_builder(self):
+        with pytest.raises(ValueError):
+            get_mechanism("cold")
+
+    def test_criu_from_fabric(self, pod):
+        mech = get_mechanism("criu-cxl", fabric=pod.fabric)
+        assert mech.name == "criu-cxl"

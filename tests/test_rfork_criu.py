@@ -1,0 +1,107 @@
+"""CRIU-CXL: full serialization to files, full-copy restore."""
+
+import pytest
+
+from repro.faas.workload import FunctionWorkload
+from repro.os.mm.faults import FaultKind
+from repro.rfork.criu import CriuCxl
+
+
+@pytest.fixture
+def mech(pod):
+    return CriuCxl(pod.cxlfs)
+
+
+@pytest.fixture
+def parent(pod):
+    workload = FunctionWorkload("float")
+    instance = workload.build_instance(pod.source)
+    workload.season(instance)
+    return workload, instance
+
+
+class TestCheckpoint:
+    def test_image_files_on_cxlfs(self, pod, mech, parent):
+        _, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        for path in ckpt.file_paths:
+            assert pod.cxlfs.exists(path)
+
+    def test_clean_file_pages_not_dumped(self, mech, parent):
+        """CRIU skips clean private file pages (libraries)."""
+        _, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        assert ckpt.dumped_pages < instance.task.mm.mapped_pages()
+
+    def test_everything_serialized(self, mech, parent):
+        _, instance = parent
+        ckpt, metrics = mech.checkpoint(instance.task)
+        # CRIU's serialized volume ~= the dumped data (no as-is state).
+        assert metrics.serialized_bytes >= ckpt.data_bytes
+
+    def test_checkpoint_much_slower_than_cxlfork(self, parent, mech):
+        """§7.1: CRIU checkpoints ~an order of magnitude slower."""
+        from repro.rfork.cxlfork import CxlFork
+
+        _, instance = parent
+        _, criu_metrics = mech.checkpoint(instance.task)
+        _, cxl_metrics = CxlFork().checkpoint(instance.task)
+        assert criu_metrics.latency_ns / cxl_metrics.latency_ns > 4
+
+    def test_delete_frees_files(self, pod, mech, parent):
+        _, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        used = pod.fabric.used_bytes
+        ckpt.delete()
+        assert pod.fabric.used_bytes < used
+        ckpt.delete()  # idempotent
+
+
+class TestRestore:
+    def test_full_copy_to_local(self, pod, mech, parent):
+        workload, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        assert result.metrics.copied_pages == ckpt.dumped_pages
+        assert result.task.mm.owned_local_pages == ckpt.dumped_pages
+        assert result.task.mm.cxl_mapped_pages() == 0  # shares nothing
+
+    def test_restore_slower_than_cxlfork(self, pod, mech, parent):
+        from repro.rfork.cxlfork import CxlFork
+
+        workload, instance = parent
+        criu_ckpt, _ = mech.checkpoint(instance.task)
+        cxl_ckpt, _ = CxlFork().checkpoint(instance.task)
+        criu = mech.restore(criu_ckpt, pod.target)
+        cxl = CxlFork().restore(cxl_ckpt, pod.target)
+        assert criu.metrics.latency_ns > 3 * cxl.metrics.latency_ns
+
+    def test_fds_and_regs_restored(self, pod, mech, parent):
+        _, instance = parent
+        instance.task.regs.rip = 0x77
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        assert result.task.regs.rip == 0x77
+        assert [f.path for f in result.task.fdtable] == [
+            f.path for f in instance.task.fdtable
+        ]
+
+    def test_library_pages_fault_from_fs(self, pod, mech, parent):
+        workload, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        inv = workload.invoke(child)
+        # Library pages were not dumped; they major-fault on the cold node.
+        assert inv.fault_stats.count(FaultKind.FILE_MAJOR) > 0
+
+    def test_no_tiering_policies(self, pod, mech, parent):
+        from repro.tiering import MigrateOnWrite
+
+        _, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        with pytest.raises(ValueError):
+            mech.restore(ckpt, pod.target, policy=MigrateOnWrite())
+
+    def test_no_ghost_container_support(self, mech):
+        assert not mech.supports_ghost_containers

@@ -1,0 +1,242 @@
+"""CXLfork: checkpoint structure, rebase, restore semantics, sharing."""
+
+import numpy as np
+import pytest
+
+from repro.faas.workload import FunctionWorkload
+from repro.os.mm.faults import FaultKind
+from repro.os.mm.pte import PteFlags, pte_has
+from repro.rfork.cxlfork import CxlFork
+from repro.serial.rebase import RebaseError
+from repro.tiering import HybridTiering, MigrateOnAccess, MigrateOnWrite
+
+
+@pytest.fixture
+def parent(pod):
+    """A seasoned small function on node0."""
+    workload = FunctionWorkload("float")
+    instance = workload.build_instance(pod.source)
+    workload.season(instance)
+    return workload, instance
+
+
+@pytest.fixture
+def checkpointed(parent):
+    workload, instance = parent
+    mech = CxlFork()
+    ckpt, metrics = mech.checkpoint(instance.task)
+    return workload, instance, mech, ckpt, metrics
+
+
+class TestCheckpoint:
+    def test_all_present_pages_replicated(self, checkpointed):
+        _, instance, _, ckpt, _ = checkpointed
+        assert ckpt.present_pages == instance.task.mm.mapped_pages()
+        assert ckpt.data_frames.size == ckpt.present_pages
+
+    def test_checkpoint_detached_from_local_memory(self, checkpointed):
+        _, _, _, ckpt, _ = checkpointed
+        ckpt.verify_detached()  # every PTE maps CXL
+        assert ckpt.rebased
+
+    def test_checkpointed_ptes_read_only_cow(self, checkpointed):
+        _, instance, _, ckpt, _ = checkpointed
+        for _, leaf in ckpt.pagetable.leaves():
+            present = (leaf.ptes & np.int64(int(PteFlags.PRESENT))) != 0
+            if not present.any():
+                continue
+            sel = leaf.ptes[present]
+            assert ((sel & np.int64(int(PteFlags.COW))) != 0).all()
+            assert ((sel & np.int64(int(PteFlags.WRITE))) == 0).all()
+
+    def test_ad_bits_preserved(self, pod):
+        """§4.1: the A/D pattern of the parent survives checkpointing."""
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        parent_a = instance.task.mm.pagetable.count_flag(int(PteFlags.ACCESSED))
+        parent_d = instance.task.mm.pagetable.count_flag(int(PteFlags.DIRTY))
+        ckpt, _ = CxlFork().checkpoint(instance.task)
+        assert ckpt.pagetable.count_flag(int(PteFlags.ACCESSED)) == parent_a
+        assert ckpt.pagetable.count_flag(int(PteFlags.DIRTY)) == parent_d
+        assert 0 < parent_d < parent_a  # seasoning produced a real pattern
+
+    def test_clean_file_pages_checkpointed(self, checkpointed):
+        """Unlike CRIU, private clean file pages are captured (§4.1)."""
+        _, instance, _, ckpt, _ = checkpointed
+        assert ckpt.present_pages == instance.task.mm.mapped_pages()
+
+    def test_parent_unharmed(self, checkpointed):
+        _, instance, _, _, _ = checkpointed
+        from repro.os.proc.task import TaskState
+
+        assert instance.task.state is TaskState.RUNNING
+        assert instance.task.mm.mapped_pages() > 0
+
+    def test_metrics_breakdown(self, checkpointed):
+        _, _, _, _, metrics = checkpointed
+        assert metrics.breakdown["data_copy"] > metrics.breakdown["global_serialize"]
+        assert metrics.cxl_bytes > 0
+        assert metrics.serialized_bytes < 64 * 1024  # near zero-serialization
+
+    def test_delete_releases_cxl(self, pod, checkpointed):
+        _, _, _, ckpt, _ = checkpointed
+        used = pod.fabric.used_bytes
+        ckpt.delete()
+        assert pod.fabric.used_bytes < used
+        ckpt.delete()  # idempotent
+
+
+class TestRestore:
+    def test_restore_on_remote_node(self, pod, checkpointed):
+        workload, instance, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target)
+        child = result.task
+        assert child.node is pod.target
+        assert child.comm == "float"
+        assert child.mm.mapped_pages() == ckpt.present_pages
+
+    def test_restore_from_unrebased_rejected(self, pod, checkpointed):
+        _, _, mech, ckpt, _ = checkpointed
+        ckpt.rebased = False
+        with pytest.raises(RebaseError):
+            mech.restore(ckpt, pod.target)
+
+    def test_global_state_redone(self, pod, checkpointed):
+        workload, instance, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target)
+        parent_fds = [f.path for f in instance.task.fdtable]
+        child_fds = [f.path for f in result.task.fdtable]
+        assert child_fds == parent_fds
+        # Descriptors resolve to the target node's FS, not the source's.
+        assert all(f.inode is not None for f in result.task.fdtable)
+
+    def test_registers_restored(self, pod, parent):
+        workload, instance = parent
+        instance.task.regs.rip = 0x4242
+        ckpt, _ = CxlFork().checkpoint(instance.task)
+        result = CxlFork().restore(ckpt, pod.target)
+        assert result.task.regs.rip == 0x4242
+        assert result.task.regs == instance.task.regs
+
+    def test_leaves_attached_not_copied(self, pod, checkpointed):
+        _, _, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target)
+        pt = result.task.mm.pagetable
+        # Most leaves are the checkpoint's own objects (dirty-prefetch may
+        # privatize the few leaves containing prefetched pages).
+        assert pt.shared_leaf_count() >= pt.leaf_count // 2
+        for leaf_index, leaf in pt.leaves():
+            if leaf.cxl_resident:
+                assert leaf is ckpt.pagetable.leaf(leaf_index)
+
+    def test_restore_constant_ish_time(self, pod):
+        """§4.2.1: restore latency must not scale with footprint."""
+        times = {}
+        for fn in ("float", "bert"):
+            from repro.experiments.common import make_pod
+
+            local_pod = make_pod()
+            workload = FunctionWorkload(fn)
+            instance = workload.build_instance(local_pod.source)
+            workload.season(instance)
+            ckpt, _ = CxlFork().checkpoint(instance.task)
+            result = CxlFork().restore(ckpt, local_pod.target)
+            times[fn] = result.metrics.latency_ns
+        # Bert is 26x bigger than Float; restore must grow far slower.
+        assert times["bert"] / times["float"] < 4.0
+
+    def test_two_children_share_leaves_across_nodes(self, pod, checkpointed):
+        _, _, mech, ckpt, _ = checkpointed
+        a = mech.restore(ckpt, pod.source).task
+        b = mech.restore(ckpt, pod.target).task
+        shared = 0
+        for leaf_index, leaf in a.mm.pagetable.leaves():
+            if leaf.cxl_resident and b.mm.pagetable.has_leaf(leaf_index):
+                if b.mm.pagetable.leaf(leaf_index) is leaf:
+                    shared += 1
+        assert shared > 0  # Fig. 5: A1 and A2 share page-table leaves
+
+    def test_dirty_prefetch_reduces_cow(self, pod, parent):
+        workload, instance = parent
+        mech = CxlFork()
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        assert result.metrics.prefetched_pages > 0
+        assert result.metrics.background_ns > 0
+        child = workload.placed_plan_for(instance, result.task)
+        inv = workload.invoke(child)
+        # Most writes were prefetched; few CoW faults remain.
+        assert inv.fault_stats.count(FaultKind.COW_CXL) < (
+            result.metrics.prefetched_pages / 2
+        )
+
+
+class TestCowSemantics:
+    def test_write_migrates_to_local(self, pod, checkpointed):
+        workload, instance, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        rw = [s for s in child.plan.segments if s.label == "rw_data"][0]
+        stats = pod.target.kernel.access_range(
+            result.task, rw.start_vpn, rw.npages, write=True
+        )
+        pte = result.task.mm.pagetable.get_pte(rw.start_vpn)
+        assert pte_has(pte, PteFlags.WRITE)
+        assert not pte_has(pte, PteFlags.CXL)
+
+    def test_checkpoint_pristine_after_child_writes(self, pod, checkpointed):
+        """§4.2: the checkpoint must remain reusable after children run."""
+        workload, instance, mech, ckpt, _ = checkpointed
+        pages_before = ckpt.present_pages
+        d_before = ckpt.pagetable.count_flag(int(PteFlags.DIRTY))
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        workload.invoke(child)
+        pod.target.kernel.exit_task(result.task)
+        assert ckpt.present_pages == pages_before
+        assert ckpt.pagetable.count_flag(int(PteFlags.DIRTY)) == d_before
+        # And a new child can still be restored.
+        again = mech.restore(ckpt, pod.target)
+        assert again.task.mm.mapped_pages() == pages_before
+
+    def test_exit_releases_all_references(self, pod, checkpointed):
+        workload, instance, mech, ckpt, _ = checkpointed
+        used_after_ckpt = pod.fabric.used_bytes
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        workload.invoke(child)
+        pod.target.kernel.exit_task(result.task)
+        assert pod.fabric.used_bytes == used_after_ckpt
+        dram_left = pod.target.dram.allocated_frames
+        assert dram_left == pod.target.pagecache.total_cached_pages()
+
+
+class TestPolicies:
+    def test_moa_leaves_not_attached(self, pod, checkpointed):
+        _, _, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target, policy=MigrateOnAccess())
+        assert result.task.mm.pagetable.leaf_count == 0
+        assert result.metrics.prefetched_pages == 0
+
+    def test_moa_faults_copy_on_read(self, pod, checkpointed):
+        workload, instance, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target, policy=MigrateOnAccess())
+        child = workload.placed_plan_for(instance, result.task)
+        inv = workload.invoke(child)
+        assert inv.fault_stats.count(FaultKind.MOA_COPY) > 0
+        assert inv.touched_cxl == 0  # everything touched is now local
+
+    def test_hybrid_splits_by_a_bit(self, pod, checkpointed):
+        workload, instance, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target, policy=HybridTiering())
+        child = workload.placed_plan_for(instance, result.task)
+        inv = workload.invoke(child)
+        # Hot (A-set) pages copied, cold pages mapped in place on CXL.
+        assert inv.fault_stats.count(FaultKind.MOA_COPY) > 0
+        assert inv.fault_stats.count(FaultKind.CXL_MAP) > 0
+
+    def test_mow_is_default(self, pod, checkpointed):
+        _, _, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target)
+        assert result.task.mm.ckpt_backing.policy.name == MigrateOnWrite.name

@@ -1,0 +1,86 @@
+"""Restore/checkpoint metrics: phase breakdowns the experiments rely on."""
+
+import pytest
+
+from repro.experiments.common import make_pod, prepare_parent
+from repro.rfork.base import CheckpointMetrics, RestoreMetrics
+from repro.rfork.criu import CriuCxl
+from repro.rfork.cxlfork import CxlFork
+from repro.rfork.mitosis import MitosisCxl
+
+
+class TestMetricObjects:
+    def test_note_accumulates(self):
+        metrics = RestoreMetrics()
+        metrics.note("a", 100.0)
+        metrics.note("a", 50.0)
+        metrics.note("b", 25.0)
+        assert metrics.breakdown == {"a": 150.0, "b": 25.0}
+        assert metrics.latency_ns == 175.0
+
+    def test_checkpoint_metrics_note(self):
+        metrics = CheckpointMetrics()
+        metrics.note("copy", 10.0)
+        assert metrics.latency_ns == 10.0
+
+
+class TestBreakdownContents:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        results = {}
+        for mech_name, mech_factory in (
+            ("cxlfork", lambda pod: CxlFork()),
+            ("criu", lambda pod: CriuCxl(pod.cxlfs)),
+            ("mitosis", lambda pod: MitosisCxl()),
+        ):
+            pod = make_pod()
+            parent = prepare_parent(pod, "float")
+            mech = mech_factory(pod)
+            ckpt, cm = mech.checkpoint(parent.instance.task)
+            rm = mech.restore(ckpt, pod.target).metrics
+            results[mech_name] = (cm, rm)
+        return results
+
+    def test_cxlfork_phases(self, runs):
+        cm, rm = runs["cxlfork"]
+        assert {"data_copy", "pagetable_copy", "global_serialize", "rebase"} <= set(
+            cm.breakdown
+        )
+        assert {"process_create", "fd_reopen", "vma_attach", "pt_attach"} <= set(
+            rm.breakdown
+        )
+        # Data copy dominates the checkpoint; attach is tiny in the restore.
+        assert cm.breakdown["data_copy"] > 0.5 * cm.latency_ns
+        assert rm.breakdown["pt_attach"] < 0.5 * rm.latency_ns
+
+    def test_criu_phases(self, runs):
+        cm, rm = runs["criu"]
+        assert "serialize_pages" in cm.breakdown
+        assert {"read_files", "deserialize_pages", "vma_rebuild"} <= set(rm.breakdown)
+        # Restore is dominated by reading + installing page data.
+        data_side = rm.breakdown["read_files"] + rm.breakdown["deserialize_pages"]
+        assert data_side > 0.4 * rm.latency_ns
+
+    def test_mitosis_phases(self, runs):
+        cm, rm = runs["mitosis"]
+        assert "shadow_copy" in cm.breakdown
+        assert {"os_state_transfer", "pt_rebuild"} <= set(rm.breakdown)
+        assert cm.local_shadow_bytes > 0
+
+    def test_latency_equals_breakdown_sum(self, runs):
+        for cm, rm in runs.values():
+            assert sum(cm.breakdown.values()) == pytest.approx(cm.latency_ns)
+            assert sum(rm.breakdown.values()) == pytest.approx(rm.latency_ns)
+
+    def test_clock_matches_metrics(self):
+        pod = make_pod()
+        parent = prepare_parent(pod, "float")
+        mech = CxlFork()
+        before_src = pod.source.clock.now
+        ckpt, cm = mech.checkpoint(parent.instance.task)
+        assert pod.source.clock.now - before_src == int(round(cm.latency_ns))
+        before_dst = pod.target.clock.now
+        result = mech.restore(ckpt, pod.target)
+        assert pod.target.clock.now - before_dst == int(
+            round(result.metrics.latency_ns)
+        )

@@ -1,0 +1,118 @@
+"""Mitosis-CXL: local shadow checkpoint, lazy remote copies."""
+
+import pytest
+
+from repro.faas.workload import FunctionWorkload
+from repro.os.mm.faults import FaultKind
+from repro.rfork.mitosis import MitosisCxl, MitosisPolicy
+
+
+@pytest.fixture
+def parent(pod):
+    workload = FunctionWorkload("float")
+    instance = workload.build_instance(pod.source)
+    workload.season(instance)
+    return workload, instance
+
+
+@pytest.fixture
+def mech():
+    return MitosisCxl()
+
+
+class TestCheckpoint:
+    def test_shadow_in_parent_local_memory(self, pod, mech, parent):
+        _, instance = parent
+        used_before = pod.source.dram.used_bytes
+        ckpt, metrics = mech.checkpoint(instance.task)
+        assert ckpt.parent_node is pod.source
+        assert pod.source.dram.used_bytes - used_before >= ckpt.local_shadow_bytes
+        assert metrics.cxl_bytes == 0  # nothing lands on the device
+
+    def test_os_state_serialized(self, mech, parent):
+        _, instance = parent
+        ckpt, metrics = mech.checkpoint(instance.task)
+        assert ckpt.os_state_bytes > 0
+        assert metrics.serialized_bytes == ckpt.os_state_bytes
+        # OS state is tiny compared to the shadow data.
+        assert ckpt.os_state_bytes < ckpt.local_shadow_bytes / 10
+
+    def test_checkpoint_faster_than_cxlfork(self, parent, mech):
+        """§7.1: Mitosis checkpoints ~1.5x faster (local vs NT-to-CXL)."""
+        from repro.rfork.cxlfork import CxlFork
+
+        _, instance = parent
+        _, mitosis = mech.checkpoint(instance.task)
+        _, cxlfork = CxlFork().checkpoint(instance.task)
+        ratio = cxlfork.latency_ns / mitosis.latency_ns
+        assert 1.2 <= ratio <= 1.9
+
+    def test_delete_frees_shadow(self, pod, mech, parent):
+        _, instance = parent
+        used_before = pod.source.dram.used_bytes
+        ckpt, _ = mech.checkpoint(instance.task)
+        ckpt.delete()
+        assert pod.source.dram.used_bytes == used_before
+
+
+class TestRestore:
+    def test_restore_builds_empty_page_table(self, pod, mech, parent):
+        _, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        assert result.task.mm.mapped_pages() == 0
+        assert result.task.mm.ckpt_backing.holds_frame_refs is False
+
+    def test_restore_cost_scales_with_pages(self, pod, mech):
+        from repro.experiments.common import make_pod
+
+        times = {}
+        for fn in ("float", "bert"):
+            local_pod = make_pod()
+            workload = FunctionWorkload(fn)
+            instance = workload.build_instance(local_pod.source)
+            workload.season(instance)
+            ckpt, _ = MitosisCxl().checkpoint(instance.task)
+            result = MitosisCxl().restore(ckpt, local_pod.target)
+            times[fn] = result.metrics.latency_ns
+        # Page-table reconstruction makes restore scale with footprint.
+        assert times["bert"] / times["float"] > 4.0
+
+    def test_every_touch_is_remote_fault(self, pod, mech, parent):
+        workload, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        inv = workload.invoke(child)
+        assert inv.fault_stats.count(FaultKind.MITOSIS_REMOTE) == inv.touched_pages
+        assert inv.touched_cxl == 0  # everything copied local
+
+    def test_child_memory_equals_touched(self, pod, mech, parent):
+        workload, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        inv = workload.invoke(child)
+        assert child.task.mm.owned_local_pages == inv.touched_pages
+
+    def test_second_invocation_few_faults(self, pod, mech, parent):
+        workload, instance = parent
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        first = workload.invoke(child)
+        second = workload.invoke(child)
+        # Only the fresh input-dependent tail faults the second time.
+        assert second.fault_stats.total_faults < first.fault_stats.total_faults / 2
+
+
+class TestPolicy:
+    def test_policy_copies_everything(self):
+        import numpy as np
+
+        policy = MitosisPolicy()
+        a = np.array([True, False, True])
+        h = np.zeros(3, dtype=bool)
+        assert policy.select_copy_on_read(a, h).all()
+        assert not policy.attach_leaves
+        assert policy.copy_fault_kind is FaultKind.MITOSIS_REMOTE

@@ -1,0 +1,58 @@
+"""Serialization volume: the quantity that separates the three designs."""
+
+import pytest
+
+from repro.experiments.common import make_pod, prepare_parent
+from repro.rfork.criu import CriuCxl
+from repro.rfork.cxlfork import CxlFork
+from repro.rfork.mitosis import MitosisCxl
+
+
+@pytest.fixture(scope="module")
+def checkpoint_metrics():
+    """Checkpoint metrics for a small and a large function, per mechanism."""
+    out = {}
+    for fn in ("float", "bert"):
+        pod = make_pod()
+        parent = prepare_parent(pod, fn)
+        out[("cxlfork", fn)] = CxlFork().checkpoint(parent.instance.task)[1]
+        out[("criu", fn)] = CriuCxl(pod.cxlfs).checkpoint(parent.instance.task)[1]
+        out[("mitosis", fn)] = MitosisCxl().checkpoint(parent.instance.task)[1]
+    return out
+
+
+class TestSerializedVolume:
+    def test_cxlfork_serialization_is_footprint_independent(self, checkpoint_metrics):
+        """Near-zero serialization: only global state (fds, namespaces)."""
+        small = checkpoint_metrics[("cxlfork", "float")].serialized_bytes
+        large = checkpoint_metrics[("cxlfork", "bert")].serialized_bytes
+        assert large < 64 * 1024
+        # Bert is 26x bigger but serializes barely more (a few extra fds).
+        assert large < 4 * small
+
+    def test_criu_serializes_the_footprint(self, checkpoint_metrics):
+        small = checkpoint_metrics[("criu", "float")].serialized_bytes
+        large = checkpoint_metrics[("criu", "bert")].serialized_bytes
+        assert large > 20 * small  # scales with the dumped pages
+
+    def test_mitosis_serializes_metadata_only(self, checkpoint_metrics):
+        """OS state scales with pages (pagemaps) but is orders below data."""
+        large = checkpoint_metrics[("mitosis", "bert")]
+        assert large.serialized_bytes < large.local_shadow_bytes / 100
+        assert large.serialized_bytes > checkpoint_metrics[
+            ("mitosis", "float")
+        ].serialized_bytes
+
+    def test_ordering_of_serialized_bytes(self, checkpoint_metrics):
+        for fn in ("float", "bert"):
+            criu = checkpoint_metrics[("criu", fn)].serialized_bytes
+            mitosis = checkpoint_metrics[("mitosis", fn)].serialized_bytes
+            cxlfork = checkpoint_metrics[("cxlfork", fn)].serialized_bytes
+            assert criu > mitosis > cxlfork
+
+    def test_cxl_residency(self, checkpoint_metrics):
+        """Where each design's checkpoint lives."""
+        assert checkpoint_metrics[("cxlfork", "bert")].cxl_bytes > 600 << 20
+        assert checkpoint_metrics[("mitosis", "bert")].cxl_bytes == 0
+        assert checkpoint_metrics[("criu", "bert")].cxl_bytes > 400 << 20
+        assert checkpoint_metrics[("mitosis", "bert")].local_shadow_bytes > 600 << 20

@@ -1,0 +1,50 @@
+"""Clock: monotonic virtual time."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_custom_start(self):
+        assert Clock(100).now == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(-1)
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(250) == 250
+        assert clock.now == 250
+
+    def test_advance_rounds_floats(self):
+        clock = Clock()
+        clock.advance(100.6)
+        assert clock.now == 101
+
+    def test_advance_negative_rejected(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_future(self):
+        clock = Clock()
+        clock.advance_to(1_000)
+        assert clock.now == 1_000
+
+    def test_advance_to_past_is_noop(self):
+        clock = Clock(500)
+        clock.advance_to(100)
+        assert clock.now == 500
+
+    def test_fork_starts_at_current_time(self):
+        clock = Clock()
+        clock.advance(42)
+        child = clock.fork()
+        assert child.now == 42
+        child.advance(1)
+        assert clock.now == 42  # independent afterwards

@@ -1,0 +1,107 @@
+"""Discrete-event queue: ordering, cancellation, run-until."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_dispatch_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(30, lambda: order.append("c"))
+        q.schedule(10, lambda: order.append("a"))
+        q.schedule(20, lambda: order.append("b"))
+        q.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_ties(self):
+        q = EventQueue()
+        order = []
+        for tag in "abc":
+            q.schedule(5, lambda t=tag: order.append(t))
+        q.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        order = []
+        q.schedule(5, lambda: order.append("low"), priority=1)
+        q.schedule(5, lambda: order.append("high"), priority=0)
+        q.run()
+        assert order == ["high", "low"]
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(10, lambda: None)
+        q.step()
+        with pytest.raises(ValueError):
+            q.schedule(5, lambda: None)
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(10, lambda: q.schedule_after(5, lambda: seen.append(q.now)))
+        q.run()
+        assert seen == [15]
+
+
+class TestCancellation:
+    def test_cancelled_event_not_dispatched(self):
+        q = EventQueue()
+        fired = []
+        event = q.schedule(10, lambda: fired.append(1))
+        q.cancel(event)
+        q.run()
+        assert fired == []
+
+    def test_len_accounts_for_cancelled(self):
+        q = EventQueue()
+        event = q.schedule(10, lambda: None)
+        q.schedule(20, lambda: None)
+        assert len(q) == 2
+        q.cancel(event)
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        event = q.schedule(10, lambda: None)
+        q.schedule(20, lambda: None)
+        q.cancel(event)
+        assert q.peek_time() == 20
+
+
+class TestRun:
+    def test_run_until(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(10, lambda: seen.append(10))
+        q.schedule(100, lambda: seen.append(100))
+        dispatched = q.run(until=50)
+        assert dispatched == 1
+        assert seen == [10]
+        assert q.now == 50  # time advances to the horizon
+
+    def test_run_max_events(self):
+        q = EventQueue()
+        for t in range(10):
+            q.schedule(t + 1, lambda: None)
+        assert q.run(max_events=3) == 3
+        assert len(q) == 7
+
+    def test_events_scheduling_events(self):
+        q = EventQueue()
+        seen = []
+
+        def cascade(depth):
+            seen.append(depth)
+            if depth < 3:
+                q.schedule_after(10, lambda: cascade(depth + 1))
+
+        q.schedule(0, lambda: cascade(0))
+        q.run()
+        assert seen == [0, 1, 2, 3]
+        assert q.now == 30
+
+    def test_step_empty_returns_none(self):
+        assert EventQueue().step() is None

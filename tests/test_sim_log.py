@@ -1,0 +1,45 @@
+"""Event log: filtering and disable switch."""
+
+from repro.sim.log import EventLog
+
+
+class TestEventLog:
+    def test_emit_and_count(self):
+        log = EventLog()
+        log.emit(10, "fault", flavor="cow")
+        log.emit(20, "fault", flavor="anon")
+        log.emit(30, "restore")
+        assert len(log) == 3
+        assert log.count("fault") == 2
+
+    def test_records_filter(self):
+        log = EventLog()
+        log.emit(10, "a")
+        log.emit(20, "b")
+        assert [r.kind for r in log.records("a")] == ["a"]
+        assert len(log.records()) == 2
+
+    def test_last(self):
+        log = EventLog()
+        log.emit(1, "x", n=1)
+        log.emit(2, "x", n=2)
+        assert log.last("x")["n"] == 2
+        assert log.last("missing") is None
+
+    def test_disabled_drops_records(self):
+        log = EventLog(enabled=False)
+        log.emit(10, "fault")
+        assert len(log) == 0
+
+    def test_detail_access(self):
+        log = EventLog()
+        log.emit(5, "fault", page=42)
+        record = log.records("fault")[0]
+        assert record["page"] == 42
+        assert record.when == 5
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(1, "x")
+        log.clear()
+        assert len(log) == 0

@@ -1,0 +1,70 @@
+"""Units: sizes, page math, formatting."""
+
+import pytest
+
+from repro.sim.units import (
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    PAGE_SIZE,
+    SEC,
+    US,
+    bytes_to_pages,
+    format_bytes,
+    format_ns,
+    pages_to_bytes,
+)
+
+
+class TestByteUnits:
+    def test_hierarchy(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_page_size_is_4k(self):
+        assert PAGE_SIZE == 4096
+
+
+class TestTimeUnits:
+    def test_hierarchy(self):
+        assert US == 1_000
+        assert MS == 1_000_000
+        assert SEC == 1_000_000_000
+
+
+class TestBytesToPages:
+    def test_exact_multiple(self):
+        assert bytes_to_pages(8192) == 2
+
+    def test_rounds_up(self):
+        assert bytes_to_pages(1) == 1
+        assert bytes_to_pages(4097) == 2
+
+    def test_zero(self):
+        assert bytes_to_pages(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_pages(-1)
+
+    def test_roundtrip_upper_bound(self):
+        for n in (0, 1, 4095, 4096, 10_000_000):
+            assert pages_to_bytes(bytes_to_pages(n)) >= n
+
+    def test_pages_to_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_to_bytes(-5)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(630 * MIB) == "630.0 MiB"
+
+    def test_format_ns(self):
+        assert format_ns(500) == "500 ns"
+        assert format_ns(2_500) == "2.5 us"
+        assert format_ns(130 * MS) == "130.0 ms"
+        assert format_ns(2 * SEC) == "2.00 s"

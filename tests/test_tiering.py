@@ -1,0 +1,164 @@
+"""Tiering policies, A-bit harvesting, and the dirty-page prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.faas.workload import FunctionWorkload
+from repro.os.mm.faults import FaultKind
+from repro.os.mm.pagetable import PageTable
+from repro.os.mm.pte import PteFlags, make_ptes
+from repro.rfork.cxlfork import CxlFork
+from repro.tiering import (
+    HybridTiering,
+    MigrateOnAccess,
+    MigrateOnWrite,
+    count_access_bits,
+    mark_hot_pages,
+    reset_access_bits,
+)
+from repro.tiering.prefetch import DirtyPagePrefetcher
+
+
+class TestPolicySelection:
+    def setup_method(self):
+        self.a = np.array([True, False, True, False])
+        self.hot = np.array([False, False, False, True])
+
+    def test_mow_never_copies_on_read(self):
+        sel = MigrateOnWrite().select_copy_on_read(self.a, self.hot)
+        assert not sel.any()
+
+    def test_moa_always_copies(self):
+        sel = MigrateOnAccess().select_copy_on_read(self.a, self.hot)
+        assert sel.all()
+
+    def test_hybrid_copies_a_or_hot(self):
+        sel = HybridTiering().select_copy_on_read(self.a, self.hot)
+        assert sel.tolist() == [True, False, True, True]
+
+    def test_attachment_flags(self):
+        assert MigrateOnWrite().attach_leaves
+        assert not MigrateOnAccess().attach_leaves
+        assert not HybridTiering().attach_leaves
+
+    def test_prefetch_flags(self):
+        assert MigrateOnWrite().prefetch_dirty
+        assert not MigrateOnAccess().prefetch_dirty
+
+
+class TestHotness:
+    def _table(self, npages=100, flags=int(PteFlags.PRESENT | PteFlags.ACCESSED)):
+        pt = PageTable()
+        pt.map_range(0, np.arange(npages, dtype=np.int64), flags)
+        return pt
+
+    def test_count_access_bits(self):
+        pt = self._table(100)
+        accessed, present = count_access_bits(pt)
+        assert (accessed, present) == (100, 100)
+
+    def test_reset_clears_a_only(self):
+        pt = self._table(
+            10, int(PteFlags.PRESENT | PteFlags.ACCESSED | PteFlags.DIRTY)
+        )
+        cost = reset_access_bits(pt)
+        assert cost > 0
+        assert count_access_bits(pt)[0] == 0
+        assert pt.count_flag(int(PteFlags.DIRTY)) == 10
+
+    def test_reset_with_dirty(self):
+        pt = self._table(
+            10, int(PteFlags.PRESENT | PteFlags.ACCESSED | PteFlags.DIRTY)
+        )
+        reset_access_bits(pt, clear_dirty=True)
+        assert pt.count_flag(int(PteFlags.DIRTY)) == 0
+
+    def test_mark_hot_pages(self):
+        pt = self._table(100)
+        cost = mark_hot_pages(pt, [5, 50])
+        assert cost > 0
+        assert pt.count_flag(int(PteFlags.HOT)) == 2
+
+    def test_mark_hot_skips_unmapped(self):
+        pt = self._table(10)
+        mark_hot_pages(pt, [5000])
+        assert pt.count_flag(int(PteFlags.HOT)) == 0
+
+    def test_mark_hot_empty(self):
+        assert mark_hot_pages(self._table(1), []) == 0.0
+
+
+class TestAbitHarvestingAcrossNodes:
+    def test_attached_children_update_checkpoint_a_bits(self, pod):
+        """§4.3: page walks of restored processes set A bits *in the
+        checkpointed CXL page tables*, visible pod-wide."""
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        ckpt, _ = CxlFork().checkpoint(instance.task)
+        reset_access_bits(ckpt.pagetable)
+        assert count_access_bits(ckpt.pagetable)[0] == 0
+        result = CxlFork().restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        workload.invoke(child)
+        accessed, _ = count_access_bits(ckpt.pagetable)
+        assert accessed > 0  # harvested through the shared leaves
+
+    def test_user_marked_hot_pages_steer_hybrid(self, pod):
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        ckpt, _ = CxlFork().checkpoint(instance.task)
+        reset_access_bits(ckpt.pagetable)  # no A bits at all
+        ro = [s for s in instance.plan.segments if s.label == "ro_data"][0]
+        hot_vpns = range(ro.start_vpn, ro.start_vpn + 16)
+        mark_hot_pages(ckpt.pagetable, hot_vpns)
+        result = CxlFork().restore(ckpt, pod.target, policy=HybridTiering())
+        kernel = pod.target.kernel
+        stats = kernel.access_range(result.task, ro.start_vpn, 32, write=False)
+        assert stats.count(FaultKind.MOA_COPY) == 16  # the HOT-marked pages
+        assert stats.count(FaultKind.CXL_MAP) == 16
+
+
+class TestPrefetcher:
+    def test_effectiveness_bounds(self):
+        with pytest.raises(ValueError):
+            DirtyPagePrefetcher(effectiveness=1.5)
+
+    def test_race_mask_size(self):
+        pf = DirtyPagePrefetcher(effectiveness=0.9)
+        mask = pf._race_mask(100)
+        assert int(mask.sum()) == 90
+
+    def test_zero_effectiveness_prefetches_nothing(self, pod):
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        mech = CxlFork(prefetcher=DirtyPagePrefetcher(effectiveness=0.0))
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        assert result.metrics.prefetched_pages == 0
+
+    def test_full_effectiveness_eliminates_cow(self, pod):
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        mech = CxlFork(prefetcher=DirtyPagePrefetcher(effectiveness=1.0))
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        inv = workload.invoke(child)
+        # Every checkpoint-dirty page was prefetched; CoW only on pages the
+        # child writes that the parent never did (the fresh tail).
+        dirty = ckpt.pagetable.count_flag(int(PteFlags.DIRTY))
+        assert result.metrics.prefetched_pages == dirty
+        assert inv.fault_stats.count(FaultKind.COW_CXL) <= dirty * 0.3
+
+    def test_prefetched_pages_owned_by_child(self, pod):
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        mech = CxlFork()
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        assert result.task.mm.owned_local_pages == result.metrics.prefetched_pages
