@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run fig7
     python -m repro run fig10 --fast
+    python -m repro trace fig6 [-o trace.json] [--jsonl spans.jsonl]
     python -m repro report [--full] [-o report.md]
 """
 
@@ -62,6 +63,40 @@ def _cmd_run(name: str, fast: bool) -> int:
     return 0
 
 
+def _cmd_trace(
+    name: str,
+    fast: bool,
+    output: str | None,
+    jsonl: str | None,
+) -> int:
+    """Run one experiment under tracing; export the trace + phase table."""
+    from repro.analysis.report import format_phase_breakdown
+    from repro.telemetry import TRACE, write_chrome_trace, write_jsonl
+
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    TRACE.reset()
+    TRACE.enable()
+    try:
+        status = _cmd_run(name, fast)
+    finally:
+        TRACE.disable()
+    if status != 0:
+        return status
+    trace_path = output if output is not None else f"trace-{name}.json"
+    events = write_chrome_trace(trace_path, TRACE)
+    print(f"\nwrote {trace_path} ({events} trace events; "
+          "load in chrome://tracing or https://ui.perfetto.dev)")
+    if jsonl is not None:
+        lines = write_jsonl(jsonl, TRACE)
+        print(f"wrote {jsonl} ({lines} records)")
+    print("\nPhase breakdown (virtual time):\n")
+    print(format_phase_breakdown(TRACE))
+    return 0
+
+
 def _cmd_report(full: bool, output: str | None) -> int:
     from repro.analysis.report import generate_report
 
@@ -86,6 +121,17 @@ def main(argv=None) -> int:
     run_parser.add_argument("experiment", help="experiment name (see `list`)")
     run_parser.add_argument("--fast", action="store_true",
                             help="reduced scale where supported")
+    trace_parser = sub.add_parser(
+        "trace", help="run one experiment under tracing; export a trace file"
+    )
+    trace_parser.add_argument("experiment", help="experiment name (see `list`)")
+    trace_parser.add_argument("--fast", action="store_true",
+                              help="reduced scale where supported")
+    trace_parser.add_argument("-o", "--output", default=None,
+                              help="Chrome trace-event JSON path "
+                                   "(default: trace-<experiment>.json)")
+    trace_parser.add_argument("--jsonl", default=None,
+                              help="also write a JSONL span/metric dump here")
     report_parser = sub.add_parser("report", help="generate the full report")
     report_parser.add_argument("--full", action="store_true",
                                help="full-scale sweeps (slow)")
@@ -96,6 +142,8 @@ def main(argv=None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args.experiment, args.fast)
+    if args.command == "trace":
+        return _cmd_trace(args.experiment, args.fast, args.output, args.jsonl)
     if args.command == "report":
         return _cmd_report(args.full, args.output)
     raise AssertionError("unreachable")

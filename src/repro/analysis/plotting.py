@@ -8,7 +8,6 @@ parameter (Fig. 9) — without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
 
 #: Default bar-drawing width in characters.
 BAR_WIDTH = 44

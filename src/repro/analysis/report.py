@@ -16,6 +16,23 @@ def _section(out, title: str) -> None:
     out.write(f"\n## {title}\n\n")
 
 
+def format_phase_breakdown(tracer=None, *, names=None) -> str:
+    """Per-phase cost table for the spans recorded on ``tracer``.
+
+    Rolls the tracer's top-level spans into per-operation groups with each
+    direct-child phase's total, mean, and share (``python -m repro trace``
+    prints this after running an experiment).  ``names`` restricts the table
+    to specific top-level span names.
+    """
+    from repro.telemetry import Breakdown, get_tracer
+
+    tracer = tracer if tracer is not None else get_tracer()
+    breakdown = Breakdown.from_tracer(tracer, names=names)
+    if not breakdown.groups:
+        return "(no spans recorded — was tracing enabled?)"
+    return breakdown.format_table()
+
+
 def generate_report(
     *,
     fast: bool = False,

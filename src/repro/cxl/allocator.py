@@ -9,7 +9,7 @@ across nodes and are reclaimed only when the last sharer drops them.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

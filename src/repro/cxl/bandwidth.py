@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry import TRACE
+
 
 @dataclass
 class BandwidthTracker:
@@ -26,7 +28,7 @@ class BandwidthTracker:
     capacity_gbps: float = 8.0
     #: Utilization above which inflation is clamped (queueing model sanity).
     max_utilization: float = 0.95
-    _streams: dict = field(default_factory=dict)
+    _streams: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.capacity_gbps <= 0:
@@ -41,6 +43,9 @@ class BandwidthTracker:
         if gbps < 0:
             raise ValueError(f"negative traffic: {gbps}")
         self._streams[name] = gbps
+        if TRACE.enabled:
+            TRACE.count("cxl.stream_updates")
+            TRACE.observe("cxl.offered_gbps", self.offered_gbps)
 
     def unregister_stream(self, name: str) -> None:
         self._streams.pop(name, None)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.cxl.device import CxlMemoryDevice, is_cxl_frame
 from repro.cxl.latency import MemoryLatencyModel
+from repro.telemetry import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.os.node import ComputeNode
@@ -36,7 +37,10 @@ class CxlFabric:
         """Current inflation of effective CXL access latency (>= 1.0)."""
         if self.bandwidth is None:
             return 1.0
-        return self.bandwidth.inflation()
+        inflation = self.bandwidth.inflation()
+        if TRACE.enabled:
+            TRACE.observe("cxl.contention_factor", inflation)
+        return inflation
 
     # -- topology -------------------------------------------------------------
 
@@ -57,15 +61,19 @@ class CxlFabric:
 
     def alloc_frames(self, count: int) -> np.ndarray:
         """Allocate ``count`` shared CXL frames (refcount 1)."""
+        TRACE.count("cxl.frames_alloc", count)
         return self.device.frames.alloc_many(count)
 
     def get_frames(self, frames: np.ndarray) -> None:
         """Register an additional sharer of CXL ``frames``."""
+        TRACE.count("cxl.frames_shared", int(frames.size))
         self.device.frames.get(frames)
 
     def put_frames(self, frames: np.ndarray) -> int:
         """Drop a sharer; frees frames whose refcount reaches zero."""
-        return self.device.frames.put(frames)
+        freed = self.device.frames.put(frames)
+        TRACE.count("cxl.frames_released", int(frames.size))
+        return freed
 
     # -- named pinned regions ---------------------------------------------------
 

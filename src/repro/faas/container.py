@@ -17,6 +17,7 @@ from repro.os.node import ComputeNode
 from repro.os.proc.cgroup import Cgroup
 from repro.os.proc.namespaces import MountNamespace, NamespaceSet, NetworkNamespace, PidNamespace
 from repro.sim.units import KIB, MS
+from repro.telemetry import TRACE
 
 #: Container creation latency (network + namespaces + cgroups), §5 / Fig. 6.
 CONTAINER_CREATE_NS = 130.0 * MS
@@ -84,24 +85,30 @@ class ContainerFactory:
 
     def create(self, function_name: str, *, charge: bool = True) -> Container:
         """A full container, paying the ~130 ms creation cost."""
-        container = Container(
-            node=self.node,
-            function_name=function_name,
-            namespaces=NamespaceSet(
-                pid=PidNamespace(name=f"{function_name}_pid"),
-                mnt=MountNamespace(name=f"{function_name}_mnt"),
-                net=NetworkNamespace(name=f"{function_name}_net"),
-            ),
-        )
-        if charge:
-            self.node.clock.advance(CONTAINER_CREATE_NS)
+        with TRACE.span(
+            "faas.container_create", clock=self.node.clock, function=function_name
+        ):
+            container = Container(
+                node=self.node,
+                function_name=function_name,
+                namespaces=NamespaceSet(
+                    pid=PidNamespace(name=f"{function_name}_pid"),
+                    mnt=MountNamespace(name=f"{function_name}_mnt"),
+                    net=NetworkNamespace(name=f"{function_name}_net"),
+                ),
+            )
+            if charge:
+                self.node.clock.advance(CONTAINER_CREATE_NS)
         return container
 
     def create_ghost(self, function_name: str, *, charge: bool = True) -> GhostContainer:
         """A ghost container (created off the critical path, usually)."""
-        ghost = GhostContainer(self.node, function_name)
-        if charge:
-            self.node.clock.advance(CONTAINER_CREATE_NS)
+        with TRACE.span(
+            "faas.ghost_create", clock=self.node.clock, function=function_name
+        ):
+            ghost = GhostContainer(self.node, function_name)
+            if charge:
+                self.node.clock.advance(CONTAINER_CREATE_NS)
         return ghost
 
 

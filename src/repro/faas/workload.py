@@ -22,6 +22,7 @@ from repro.faas.invocation import InvocationEngine, InvocationResult
 from repro.faas.profiles import MemoryPlan, SegmentKind, build_plan
 from repro.os.node import ComputeNode
 from repro.os.proc.task import Task
+from repro.telemetry import TRACE
 from repro.tiering.hotness import reset_access_bits
 
 
@@ -71,28 +72,32 @@ class FunctionWorkload:
     ) -> FunctionInstance:
         """Cold-build the function on ``node``; charges state-init time."""
         kernel = node.kernel
-        task = kernel.spawn_task(self.spec.name, container=container)
-        placed = []
-        try:
-            for seg in self.plan.segments:
-                if seg.kind is SegmentKind.FILE:
-                    vma = kernel.map_file_region(
-                        task, seg.path, seg.npages, label=seg.label, populate=True
-                    )
-                else:
-                    vma = kernel.map_anon_region(
-                        task, seg.npages, label=seg.label, populate=True
-                    )
-                placed.append(seg.at(vma.start_vpn))
-        except BaseException:
-            kernel.exit_task(task)  # half-built instances must not leak
-            raise
-        for i in range(self.spec.fd_count):
-            path = f"/var/run/{self.spec.name}/fd{i}"
-            inode = node.rootfs.ensure(path)
-            task.fdtable.open(path, inode=inode.ino)
-        if charge:
-            node.clock.advance(self.spec.state_init_ns)
+        span = TRACE.span(
+            "faas.build_instance", clock=node.clock, function=self.spec.name
+        )
+        with span:
+            task = kernel.spawn_task(self.spec.name, container=container)
+            placed = []
+            try:
+                for seg in self.plan.segments:
+                    if seg.kind is SegmentKind.FILE:
+                        vma = kernel.map_file_region(
+                            task, seg.path, seg.npages, label=seg.label, populate=True
+                        )
+                    else:
+                        vma = kernel.map_anon_region(
+                            task, seg.npages, label=seg.label, populate=True
+                        )
+                    placed.append(seg.at(vma.start_vpn))
+            except BaseException:
+                kernel.exit_task(task)  # half-built instances must not leak
+                raise
+            for i in range(self.spec.fd_count):
+                path = f"/var/run/{self.spec.name}/fd{i}"
+                inode = node.rootfs.ensure(path)
+                task.fdtable.open(path, inode=inode.ino)
+            if charge:
+                node.clock.advance(self.spec.state_init_ns)
         plan = MemoryPlan(spec=self.spec, segments=tuple(placed))
         return FunctionInstance(
             task=task,
@@ -163,8 +168,13 @@ class FunctionWorkload:
 
     def invoke(self, instance: FunctionInstance) -> InvocationResult:
         """Run one invocation."""
-        result = self.engine.run(instance.task, instance.plan, instance.invocations)
-        instance.invocations += 1
+        with TRACE.span(
+            "faas.invoke", clock=instance.node.clock, function=self.spec.name
+        ) as span:
+            result = self.engine.run(instance.task, instance.plan, instance.invocations)
+            instance.invocations += 1
+            if span.recording:
+                span.set(faults=result.fault_stats.total_faults)
         return result
 
 

@@ -40,6 +40,7 @@ from repro.os.mm.pte import (
 from repro.os.mm.vma import Vma, VmaKind, VmaPerms
 from repro.os.proc.task import Task, TaskState
 from repro.sim.units import PAGE_SIZE
+from repro.telemetry import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.os.node import ComputeNode
@@ -160,6 +161,7 @@ class Kernel:
             cgroup=cgroup,
         )
         self._tasks[task.tid] = task
+        TRACE.count("kernel.task_spawn")
         return task
 
     def exit_task(self, task: Task) -> None:
@@ -202,6 +204,7 @@ class Kernel:
         task.mm.owned_local_pages = 0
         task.state = TaskState.DEAD
         self._tasks.pop(task.tid, None)
+        TRACE.count("kernel.task_exit")
 
     # -- memory population (cold-start construction) ----------------------------------
 
@@ -509,6 +512,16 @@ class Kernel:
         if shootdowns:
             stats.add_cost(self.fault_costs.tlb.shootdown_cost_ns(shootdowns, batched=True))
         self.clock.advance(stats.cost_ns)
+        if TRACE.enabled:
+            TRACE.add_span(
+                "kernel.local_fork",
+                self.clock.now - int(round(stats.cost_ns)),
+                stats.cost_ns,
+                clock=self.clock,
+                parent=parent.pid,
+                child=child.pid,
+            )
+            TRACE.count("kernel.forks")
         self.log.emit(self.clock.now, "local_fork", parent=parent.pid, child=child.pid)
         return child, stats
 
@@ -553,6 +566,10 @@ class Kernel:
             self._access_chunk(task, vma, leaf_index, sl, vpn0, sub, write, stats)
             offset += chunk_len
         self.clock.advance(stats.cost_ns)
+        if TRACE.enabled and stats.total_faults:
+            for kind, n in stats.counts.items():
+                TRACE.count(f"kernel.fault.{kind.value}", n)
+            TRACE.observe("kernel.fault_batch_cost_ns", stats.cost_ns)
         return stats
 
     def _privatize_pte_leaf(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.cxl.latency import MemoryLatencyModel
 from repro.os.mm.tlb import TlbModel
+from repro.telemetry import TRACE
 
 
 class FaultKind(enum.Enum):
@@ -76,6 +77,20 @@ class FaultCostModel:
         file_vmas_to_register: int = 0,
     ) -> float:
         """Virtual-time cost of one fault of ``kind``."""
+        cost = self._cost_ns(
+            kind, latency, file_vmas_to_register=file_vmas_to_register
+        )
+        if TRACE.enabled:
+            TRACE.observe(f"faultcost.{kind.value}_ns", cost)
+        return cost
+
+    def _cost_ns(
+        self,
+        kind: FaultKind,
+        latency: MemoryLatencyModel,
+        *,
+        file_vmas_to_register: int = 0,
+    ) -> float:
         if kind is FaultKind.ANON_ZERO:
             # zero-fill one local page
             return self.anon_base_ns + latency.page_copy_ns(src_cxl=False, dst_cxl=False)

@@ -19,6 +19,7 @@ from repro.os.pagecache import PageCache
 from repro.sim.clock import Clock
 from repro.sim.log import EventLog
 from repro.sim.units import bytes_to_pages
+from repro.telemetry import TRACE
 
 #: Per-node DRAM frame ranges are spaced this far apart; must stay below
 #: the CXL frame base (1 << 40).  Allows nodes with up to 32 TiB DRAM.
@@ -65,6 +66,8 @@ class ComputeNode:
         self.reclaimer = MemoryReclaimer(self)
         self.dram.pressure_handler = self.reclaimer.reclaim
         fabric.attach_node(self)
+        # Name this node's virtual clock in exported traces.
+        TRACE.register_track(self.clock, self.name)
 
     # -- failure injection --------------------------------------------------------
 

@@ -37,6 +37,7 @@ from repro.porter.tiering_controller import TieringController
 from repro.rfork.registry import get_mechanism
 from repro.sim.events import EventQueue
 from repro.sim.units import MS, SEC
+from repro.telemetry import TRACE
 from repro.tiering.hotness import reset_access_bits
 from repro.tiering.mow import MigrateOnWrite
 
@@ -195,6 +196,13 @@ class CxlPorter:
         state = self._functions[function]
         where = node or self.nodes[0]
         workload = state.workload
+        span = TRACE.span("porter.prewarm", clock=where.clock, function=function)
+        try:
+            return self._prewarm_into(state, where, workload, function)
+        finally:
+            span.finish()
+
+    def _prewarm_into(self, state, where, workload, function):
         instance = workload.build_instance(where)
         where.clock.advance(
             reset_access_bits(instance.task.mm.pagetable, clear_dirty=True)
@@ -289,11 +297,14 @@ class CxlPorter:
         record.busy = True
 
         def do() -> bool:
-            try:
-                state.workload.invoke(record.instance)
-                return True
-            except OutOfMemoryError:
-                return False
+            with TRACE.span(
+                "porter.warm", clock=record.node.clock, function=request.function
+            ):
+                try:
+                    state.workload.invoke(record.instance)
+                    return True
+                except OutOfMemoryError:
+                    return False
 
         duration, ok = self._measure(record.node, do)
         if not ok:
@@ -312,41 +323,45 @@ class CxlPorter:
         self._ensure_capacity(node, self._estimate_bytes(request.function))
 
         def do() -> Optional[InstanceRecord]:
-            node.clock.advance(LOOKUP_NS)
-            container = None
-            if self.mechanism.supports_ghost_containers:
-                ghost = self.ghostpools[node.name].acquire(request.function)
-                if ghost is not None:
-                    node.clock.advance(ghost.trigger())
-                    container = ghost
-            if container is None:
-                container = self.factories[node.name].create(
-                    request.function, charge=True
+            with TRACE.span(
+                "porter.restore_start", clock=node.clock,
+                function=request.function, mechanism=self.mechanism.name,
+            ):
+                node.clock.advance(LOOKUP_NS)
+                container = None
+                if self.mechanism.supports_ghost_containers:
+                    ghost = self.ghostpools[node.name].acquire(request.function)
+                    if ghost is not None:
+                        node.clock.advance(ghost.trigger())
+                        container = ghost
+                if container is None:
+                    container = self.factories[node.name].create(
+                        request.function, charge=True
+                    )
+                policy = None
+                if self.mechanism.name == "cxlfork":
+                    policy = self.controller.policy_for(request.function, node)
+                try:
+                    result = self.mechanism.restore(
+                        entry.checkpoint, node, container=container, policy=policy
+                    )
+                except OutOfMemoryError:
+                    self._release_container(node, container)
+                    return None
+                instance = state.workload.instance_from_plan(entry.plan, result.task)
+                record = InstanceRecord(
+                    instance=instance,
+                    node=node,
+                    container=container,
+                    function=request.function,
+                    busy=True,
                 )
-            policy = None
-            if self.mechanism.name == "cxlfork":
-                policy = self.controller.policy_for(request.function, node)
-            try:
-                result = self.mechanism.restore(
-                    entry.checkpoint, node, container=container, policy=policy
-                )
-            except OutOfMemoryError:
-                self._release_container(node, container)
-                return None
-            instance = state.workload.instance_from_plan(entry.plan, result.task)
-            record = InstanceRecord(
-                instance=instance,
-                node=node,
-                container=container,
-                function=request.function,
-                busy=True,
-            )
-            try:
-                state.workload.invoke(instance)
-            except OutOfMemoryError:
-                self._teardown(record)
-                return None
-            return record
+                try:
+                    state.workload.invoke(instance)
+                except OutOfMemoryError:
+                    self._teardown(record)
+                    return None
+                return record
 
         duration, record = self._measure(node, do)
         if record is None:
@@ -362,24 +377,29 @@ class CxlPorter:
         self._ensure_capacity(node, self._estimate_bytes(request.function, cold=True))
 
         def do() -> Optional[InstanceRecord]:
-            container = self.factories[node.name].create(request.function, charge=True)
-            instance = None
-            try:
-                instance = state.workload.build_instance(node, container=container)
-                record = InstanceRecord(
-                    instance=instance,
-                    node=node,
-                    container=container,
-                    function=request.function,
-                    busy=True,
+            with TRACE.span(
+                "porter.cold_start", clock=node.clock, function=request.function
+            ):
+                container = self.factories[node.name].create(
+                    request.function, charge=True
                 )
-                state.workload.invoke(instance)
-            except OutOfMemoryError:
-                if instance is not None:
-                    node.kernel.exit_task(instance.task)
-                container.destroy()
-                return None
-            return record
+                instance = None
+                try:
+                    instance = state.workload.build_instance(node, container=container)
+                    record = InstanceRecord(
+                        instance=instance,
+                        node=node,
+                        container=container,
+                        function=request.function,
+                        busy=True,
+                    )
+                    state.workload.invoke(instance)
+                except OutOfMemoryError:
+                    if instance is not None:
+                        node.kernel.exit_task(instance.task)
+                    container.destroy()
+                    return None
+                return record
 
         duration, record = self._measure(node, do)
         if record is None:
@@ -393,6 +413,7 @@ class CxlPorter:
     def _retry_later(self, node: ComputeNode, request: Request, wasted_ns: float):
         """Could not get memory: free what we can and try again shortly."""
         self._retries += 1
+        TRACE.count("porter.memory_retries")
 
         def on_done():
             self.queue.schedule_after(
@@ -408,6 +429,9 @@ class CxlPorter:
         now = self.queue.now
         latency = now - request.when
         self.metrics.record(request.function, latency, kind=kind)
+        if TRACE.enabled:
+            TRACE.count(f"porter.requests.{kind}")
+            TRACE.observe("porter.request_latency_ns", latency)
         if state.slo_ns:
             self.controller.record_latency(request.function, state.slo_ns, latency)
         self._run_checkpoint_protocol(record, state)
@@ -522,6 +546,7 @@ class CxlPorter:
         from repro.sim.units import pages_to_bytes
 
         freed = self.store.reclaim(pages_to_bytes(shortfall_frames))
+        TRACE.count("porter.ckpt_reclaims")
         # Their functions will re-checkpoint on demand.
         for state in self._functions.values():
             name = state.workload.spec.name

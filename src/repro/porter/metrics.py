@@ -1,46 +1,67 @@
-"""End-to-end latency recording for the CXLporter experiments."""
+"""End-to-end latency recording for the CXLporter experiments.
+
+Backed by :mod:`repro.telemetry` histograms/counters: each CXLporter
+deployment owns a private :class:`~repro.telemetry.MetricRegistry` (so
+concurrent deployments in one process don't bleed into each other), with
+one latency histogram per function and one counter per start kind.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.sim.units import MS
+from repro.telemetry import Histogram, MetricRegistry
+
+_LATENCY_PREFIX = "porter.latency."
+_KIND_PREFIX = "porter.start."
 
 
-@dataclass
 class LatencyRecorder:
     """Per-function end-to-end request latencies."""
 
-    _latencies: dict = field(default_factory=dict)
-    _kinds: dict = field(default_factory=dict)
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._latencies: dict[str, Histogram] = {}
+        self._kinds: dict[str, list[str]] = {}
 
     def record(self, function: str, latency_ns: float, *, kind: str = "warm") -> None:
-        self._latencies.setdefault(function, []).append(latency_ns)
+        histogram = self._latencies.get(function)
+        if histogram is None:
+            histogram = self.registry.histogram(_LATENCY_PREFIX + function)
+            self._latencies[function] = histogram
+        histogram.observe(latency_ns)
         self._kinds.setdefault(function, []).append(kind)
+        self.registry.counter(_KIND_PREFIX + kind).add(1)
 
     def count(self, function: Optional[str] = None) -> int:
         if function is not None:
-            return len(self._latencies.get(function, []))
-        return sum(len(v) for v in self._latencies.values())
+            histogram = self._latencies.get(function)
+            return histogram.count if histogram is not None else 0
+        return sum(h.count for h in self._latencies.values())
 
-    def functions(self) -> list:
+    def functions(self) -> list[str]:
         return sorted(self._latencies)
 
+    def histogram(self, function: str) -> Optional[Histogram]:
+        """The underlying telemetry histogram for one function (or None)."""
+        return self._latencies.get(function)
+
     def all_latencies(self) -> np.ndarray:
-        chunks = [np.asarray(v) for v in self._latencies.values() if v]
+        chunks = [h.to_numpy() for h in self._latencies.values() if h.count]
         if not chunks:
             return np.empty(0)
         return np.concatenate(chunks)
 
     def percentile(self, q: float, function: Optional[str] = None) -> Optional[float]:
-        values = (
-            np.asarray(self._latencies.get(function, []))
-            if function is not None
-            else self.all_latencies()
-        )
+        if function is not None:
+            histogram = self._latencies.get(function)
+            if histogram is None:
+                return None
+            return histogram.percentile(q)
+        values = self.all_latencies()
         if values.size == 0:
             return None
         return float(np.percentile(values, q))
@@ -53,12 +74,16 @@ class LatencyRecorder:
         p = self.percentile(99, function)
         return None if p is None else p / MS
 
-    def start_kind_counts(self) -> dict:
-        counts: dict = {}
-        for kinds in self._kinds.values():
-            for kind in kinds:
-                counts[kind] = counts.get(kind, 0) + 1
-        return counts
+    def start_kind_counts(self) -> dict[str, int]:
+        return {
+            name[len(_KIND_PREFIX):]: int(counter.value)
+            for name, counter in self.registry.counters.items()
+            if name.startswith(_KIND_PREFIX) and counter.value
+        }
+
+    def kinds(self, function: str) -> list[str]:
+        """Start kinds recorded for one function, in arrival order."""
+        return list(self._kinds.get(function, []))
 
 
 __all__ = ["LatencyRecorder"]

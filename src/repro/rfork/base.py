@@ -28,11 +28,16 @@ class CheckpointMetrics:
     cxl_bytes: int = 0
     local_shadow_bytes: int = 0
     serialized_bytes: int = 0
-    breakdown: dict = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    #: Open telemetry span mirroring the breakdown as phase child spans
+    #: (set by the mechanism while tracing is enabled; see repro.telemetry).
+    span: Any = field(default=None, repr=False, compare=False)
 
     def note(self, phase: str, ns: float) -> None:
         self.breakdown[phase] = self.breakdown.get(phase, 0.0) + ns
         self.latency_ns += ns
+        if self.span is not None:
+            self.span.add_phase(phase, ns)
 
 
 @dataclass
@@ -43,11 +48,15 @@ class RestoreMetrics:
     background_ns: float = 0.0
     prefetched_pages: int = 0
     copied_pages: int = 0
-    breakdown: dict = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    #: Open telemetry span mirroring the breakdown as phase child spans.
+    span: Any = field(default=None, repr=False, compare=False)
 
     def note(self, phase: str, ns: float) -> None:
         self.breakdown[phase] = self.breakdown.get(phase, 0.0) + ns
         self.latency_ns += ns
+        if self.span is not None:
+            self.span.add_phase(phase, ns)
 
 
 @dataclass

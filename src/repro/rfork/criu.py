@@ -44,6 +44,7 @@ from repro.serial.records import (
     vma_records,
 )
 from repro.sim.units import PAGE_SIZE
+from repro.telemetry import TRACE
 
 #: Installing one restored page's PTE (beyond the data copy itself).
 PTE_INSTALL_NS = 120.0
@@ -110,6 +111,9 @@ class CriuCxl(RemoteForkMechanism):
         node = task.node
         latency = node.fabric.latency
         metrics = CheckpointMetrics()
+        span = TRACE.span("criu.checkpoint", clock=node.clock, comm=task.comm)
+        if span.recording:
+            metrics.span = span
         task.freeze()
         try:
             CriuCxl._image_counter += 1
@@ -154,9 +158,14 @@ class CriuCxl(RemoteForkMechanism):
             )
             metrics.serialized_bytes = ckpt.metadata_bytes + data_bytes
             metrics.cxl_bytes = ckpt.cxl_bytes
+        except BaseException:
+            span.finish()  # failed checkpoints must not leave the span open
+            raise
         finally:
             task.thaw()
         node.clock.advance(metrics.latency_ns)
+        span.set(pages=ckpt.dumped_pages, cxl_bytes=ckpt.cxl_bytes)
+        span.finish()
         node.log.emit(node.clock.now, "criu_checkpoint", comm=task.comm,
                       pages=ckpt.dumped_pages)
         return ckpt, metrics
@@ -191,14 +200,21 @@ class CriuCxl(RemoteForkMechanism):
         if policy is not None:
             raise ValueError("CRIU-CXL has no tiering policies; state is fully copied")
         kernel = node.kernel
-        latency = node.fabric.latency
         metrics = RestoreMetrics()
+        span = TRACE.span(
+            "criu.restore", clock=node.clock, comm=checkpoint.comm, node=node.name
+        )
+        if span.recording:
+            metrics.span = span
 
         metrics.note("process_create", PROC_CREATE_NS)
         task = kernel.spawn_task(checkpoint.comm, container=container)
         try:
-            return self._restore_into(task, checkpoint, node, metrics)
+            result = self._restore_into(task, checkpoint, node, metrics)
+            span.finish()
+            return result
         except BaseException:
+            span.finish()
             kernel.exit_task(task)  # failed restores must not leak frames
             raise
 

@@ -43,6 +43,7 @@ from repro.serial.codec import Codec
 from repro.serial.rebase import RebaseError, Rebaser
 from repro.serial.records import FdRecord, NamespaceRecord, RegsRecord
 from repro.sim.units import PAGE_SIZE
+from repro.telemetry import TRACE
 from repro.tiering.mow import MigrateOnWrite
 from repro.tiering.prefetch import DirtyPagePrefetcher
 
@@ -171,6 +172,9 @@ class CxlFork(RemoteForkMechanism):
         fabric = node.fabric
         latency = fabric.latency
         metrics = CheckpointMetrics()
+        span = TRACE.span("cxlfork.checkpoint", clock=node.clock, comm=task.comm)
+        if span.recording:
+            metrics.span = span
         task.freeze()
         try:
             ckpt = CxlForkCheckpoint(task.comm, fabric, CxlHeap(fabric, f"ckpt:{task.comm}"))
@@ -284,9 +288,14 @@ class CxlFork(RemoteForkMechanism):
             ckpt.verify_detached()
 
             metrics.cxl_bytes = ckpt.cxl_bytes
+        except BaseException:
+            span.finish()  # failed checkpoints must not leave the span open
+            raise
         finally:
             task.thaw()
         node.clock.advance(metrics.latency_ns)
+        span.set(pages=ckpt.present_pages, cxl_bytes=ckpt.cxl_bytes)
+        span.finish()
         node.log.emit(node.clock.now, "cxlfork_checkpoint", comm=task.comm,
                       pages=ckpt.present_pages)
         return ckpt, metrics
@@ -306,16 +315,24 @@ class CxlFork(RemoteForkMechanism):
         if policy is None:
             policy = MigrateOnWrite()
         kernel = node.kernel
-        latency = node.fabric.latency
         metrics = RestoreMetrics()
+        span = TRACE.span(
+            "cxlfork.restore", clock=node.clock,
+            comm=checkpoint.comm, node=node.name, policy=policy.name,
+        )
+        if span.recording:
+            metrics.span = span
 
         metrics.note("process_create", PROC_CREATE_NS)
         task = kernel.spawn_task(checkpoint.comm, container=container)
         try:
-            return self._restore_into(task, checkpoint, node, policy, metrics)
+            result = self._restore_into(task, checkpoint, node, policy, metrics)
+            span.finish()
+            return result
         except BaseException:
             # Unwind a partially built clone (e.g. OOM during prefetch) so
             # failed restores never leak frames.
+            span.finish()
             kernel.exit_task(task)
             raise
 
@@ -410,6 +427,11 @@ class CxlFork(RemoteForkMechanism):
             result = self.prefetcher.prefetch(kernel, task, checkpoint.pagetable)
             metrics.background_ns += result.background_ns
             metrics.prefetched_pages = result.pages
+            if TRACE.enabled and result.pages:
+                TRACE.add_span(
+                    "cxlfork.prefetch_dirty", node.clock.now, result.background_ns,
+                    clock=node.clock, pages=result.pages,
+                )
 
         node.clock.advance(metrics.latency_ns)
         node.log.emit(node.clock.now, "cxlfork_restore", comm=checkpoint.comm,

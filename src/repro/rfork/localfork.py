@@ -17,6 +17,7 @@ from repro.rfork.base import (
     RestoreMetrics,
     RestoreResult,
 )
+from repro.telemetry import TRACE
 
 
 class LocalFork(RemoteForkMechanism):
@@ -44,12 +45,16 @@ class LocalFork(RemoteForkMechanism):
             )
         if policy is not None:
             raise ValueError("local fork has no tiering policies")
-        child, stats = node.kernel.local_fork(checkpoint)
-        if container is not None:
-            child.cgroup = container.cgroup
-            child.namespaces = container.namespaces
         metrics = RestoreMetrics()
-        metrics.note("fork", stats.cost_ns)
+        # No metrics.span binding here: the kernel already records a
+        # "kernel.local_fork" child span covering the same interval, and a
+        # "fork" phase child on top would double-attribute the time.
+        with TRACE.span("localfork.restore", clock=node.clock, comm=checkpoint.comm):
+            child, stats = node.kernel.local_fork(checkpoint)
+            if container is not None:
+                child.cgroup = container.cgroup
+                child.namespaces = container.namespaces
+            metrics.note("fork", stats.cost_ns)
         return RestoreResult(task=child, metrics=metrics)
 
     def delete_checkpoint(self, checkpoint: Task) -> None:

@@ -37,6 +37,9 @@ class EventQueue:
         self._sequence = itertools.count()
         self._now = 0
         self._cancelled: set[int] = set()
+        #: Sequences scheduled but neither dispatched nor cancelled yet.
+        #: Guards cancel() against double-cancels and stale Event handles.
+        self._pending: set[int] = set()
 
     @property
     def now(self) -> int:
@@ -44,7 +47,7 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._cancelled)
+        return len(self._pending)
 
     def schedule(
         self,
@@ -61,6 +64,7 @@ class EventQueue:
             )
         event = Event(int(when), priority, next(self._sequence), action, label)
         heapq.heappush(self._heap, (event.when, event.priority, event.sequence, event))
+        self._pending.add(event.sequence)
         return event
 
     def schedule_after(
@@ -74,9 +78,19 @@ class EventQueue:
         """Schedule ``action`` ``delay`` ns after the current time."""
         return self.schedule(self._now + int(delay), action, priority=priority, label=label)
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event (lazy removal)."""
+    def cancel(self, event: Event) -> bool:
+        """Cancel a scheduled event (lazy removal).
+
+        Returns ``True`` if the event was live and is now cancelled.
+        Cancelling an event twice, or one that already dispatched, is a
+        no-op — the stale sequence is *not* added to ``_cancelled``, so a
+        later event cannot be swallowed and ``len()`` cannot drift.
+        """
+        if event.sequence not in self._pending:
+            return False
+        self._pending.discard(event.sequence)
         self._cancelled.add(event.sequence)
+        return True
 
     def step(self) -> Optional[Event]:
         """Dispatch the next event; returns it, or ``None`` if queue is empty."""
@@ -85,6 +99,7 @@ class EventQueue:
             if event.sequence in self._cancelled:
                 self._cancelled.discard(event.sequence)
                 continue
+            self._pending.discard(event.sequence)
             self._now = event.when
             event.action()
             return event
@@ -95,8 +110,10 @@ class EventQueue:
         ``max_events`` dispatched.  Returns the number of events dispatched.
         """
         dispatched = 0
-        while self._heap:
-            when = self._heap[0][0]
+        while True:
+            when = self.peek_time()  # skips cancelled heap heads
+            if when is None:
+                break
             if until is not None and when > until:
                 break
             if max_events is not None and dispatched >= max_events:

@@ -17,7 +17,7 @@ class LogRecord:
 
     when: int
     kind: str
-    detail: dict = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> Any:
         return self.detail[key]

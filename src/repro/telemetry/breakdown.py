@@ -1,0 +1,140 @@
+"""Roll spans up into per-phase cost tables.
+
+The paper's headline figures are *breakdowns* — Fig. 6 splits a cold start
+into container creation vs state initialization, Fig. 7 splits a restore
+into leaf attach / PTE fixup / deserialization.  :class:`Breakdown` groups
+recorded top-level spans by name and attributes each group's virtual time
+to its direct child spans (the phases), which mechanisms emit via
+``metrics.note`` → ``Span.add_phase`` so the phases tile the parent
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.tracer import Span, Tracer
+
+__all__ = ["Breakdown", "PhaseRow", "SpanGroup"]
+
+#: Residual time a parent span spent outside any named phase.
+UNATTRIBUTED = "(unattributed)"
+
+
+@dataclass
+class PhaseRow:
+    """Aggregate cost of one named phase within a span group."""
+
+    phase: str
+    total_ns: float = 0.0
+    count: int = 0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+
+@dataclass
+class SpanGroup:
+    """All occurrences of one top-level span name, with phase attribution."""
+
+    name: str
+    count: int = 0
+    total_ns: float = 0.0
+    phases: dict[str, PhaseRow] = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseRow:
+        row = self.phases.get(name)
+        if row is None:
+            row = self.phases[name] = PhaseRow(name)
+        return row
+
+    @property
+    def attributed_ns(self) -> float:
+        return sum(r.total_ns for r in self.phases.values())
+
+
+class Breakdown:
+    """Per-phase cost table over a tracer's recorded spans."""
+
+    def __init__(self, groups: dict[str, SpanGroup]) -> None:
+        self.groups = groups
+
+    @classmethod
+    def from_tracer(
+        cls, tracer: Tracer, names: Optional[list[str]] = None
+    ) -> "Breakdown":
+        return cls.from_spans(tracer.spans(), names=names)
+
+    @classmethod
+    def from_spans(
+        cls, spans: list[Span], names: Optional[list[str]] = None
+    ) -> "Breakdown":
+        """Group top-level spans by name; attribute time to direct children.
+
+        ``names`` restricts grouping to specific top-level span names (the
+        default is every top-level span seen).
+        """
+        children: dict[int, list[Span]] = {}
+        by_id: dict[int, Span] = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None and span.parent_id in by_id:
+                children.setdefault(span.parent_id, []).append(span)
+        groups: dict[str, SpanGroup] = {}
+        for span in spans:
+            if span.parent_id is not None and span.parent_id in by_id:
+                continue  # not top-level
+            if names is not None and span.name not in names:
+                continue
+            group = groups.get(span.name)
+            if group is None:
+                group = groups[span.name] = SpanGroup(span.name)
+            group.count += 1
+            duration = span.duration_ns
+            group.total_ns += duration
+            attributed = 0.0
+            for child in children.get(span.span_id, ()):
+                row = group.phase(child.name)
+                row.total_ns += child.duration_ns
+                row.count += 1
+                attributed += child.duration_ns
+            residue = duration - attributed
+            if abs(residue) > 0.5:
+                row = group.phase(UNATTRIBUTED)
+                row.total_ns += residue
+                row.count += 1
+        return cls(groups)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(g.total_ns for g in self.groups.values())
+
+    def group(self, name: str) -> Optional[SpanGroup]:
+        return self.groups.get(name)
+
+    def format_table(self) -> str:
+        """Fixed-width text tables, one per span group, phases descending."""
+        if not self.groups:
+            return "(no spans recorded)"
+        lines: list[str] = []
+        for name in sorted(self.groups):
+            group = self.groups[name]
+            mean_ms = group.total_ns / group.count / 1e6 if group.count else 0.0
+            lines.append(
+                f"{name}  (n={group.count}, total={group.total_ns / 1e6:.3f} ms, "
+                f"mean={mean_ms:.3f} ms)"
+            )
+            if group.phases:
+                lines.append(f"  {'phase':<24} {'total(ms)':>12} {'count':>8} {'share':>8}")
+                rows = sorted(
+                    group.phases.values(), key=lambda r: r.total_ns, reverse=True
+                )
+                for row in rows:
+                    share = row.total_ns / group.total_ns if group.total_ns else 0.0
+                    lines.append(
+                        f"  {row.phase:<24} {row.total_ns / 1e6:>12.3f} "
+                        f"{row.count:>8} {share:>7.1%}"
+                    )
+            lines.append("")
+        return "\n".join(lines).rstrip()

@@ -17,6 +17,7 @@ from repro.os.kernel import Kernel
 from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags, make_ptes
 from repro.os.proc.task import Task
 from repro.sim.units import PAGE_SIZE
+from repro.telemetry import TRACE
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,12 @@ def migrate_hot_pages(kernel: Kernel, task: Task) -> MigrationResult:
         total_pages += count
         total_ns += latency.copy_ns(count * PAGE_SIZE, src_cxl=True, dst_cxl=False)
         total_ns += kernel.fault_costs.tlb.shootdown_cost_ns(count, batched=True)
+    if TRACE.enabled and total_pages:
+        TRACE.add_span(
+            "tiering.migrate_hot_pages", kernel.clock.now, total_ns,
+            clock=kernel.clock, comm=task.comm, pages=total_pages,
+        )
+        TRACE.count("tiering.migrated_pages", total_pages)
     return MigrationResult(pages=total_pages, background_ns=total_ns)
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cxl.topology import PodTopology
 from repro.experiments.common import make_pod
 from repro.sim.units import GIB
 

@@ -61,6 +61,46 @@ class TestCli:
     def test_run_unknown(self, capsys):
         assert main(["run", "nope"]) == 2
 
+    def test_trace_fig6(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import TRACE
+
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "spans.jsonl"
+        assert main([
+            "trace", "fig6",
+            "-o", str(trace_path),
+            "--jsonl", str(jsonl_path),
+        ]) == 0
+        assert not TRACE.enabled  # disabled again afterwards
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        assert "faas.container_create" in out
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+        assert all(json.loads(line) for line in jsonl_path.read_text().splitlines())
+        # Fig. 6's reported totals equal the traced span totals within 1%.
+        from repro.telemetry import Breakdown
+
+        breakdown = Breakdown.from_tracer(
+            TRACE, names=["faas.container_create", "faas.build_instance"]
+        )
+        reported_ms = 0.0
+        for line in out.splitlines():
+            parts = line.split()
+            if len(parts) == 4 and parts[0] in (
+                "float", "linpack", "json", "pyaes", "chameleon",
+                "html", "cnn", "rnn", "bfs", "bert",
+            ):
+                reported_ms += float(parts[3])
+        assert reported_ms > 0
+        assert breakdown.total_ns / 1e6 == pytest.approx(reported_ms, rel=0.01)
+        TRACE.reset()
+
+    def test_trace_unknown(self, capsys):
+        assert main(["trace", "nope"]) == 2
+
     def test_registry_modules_importable(self):
         import importlib
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cxl.latency import MemoryLatencyModel
-from repro.sim.units import PAGE_SIZE
 
 
 @pytest.fixture

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cxl.bandwidth import BandwidthTracker
-from repro.experiments.common import make_pod, prepare_parent
+from repro.experiments.common import prepare_parent
 from repro.faas.workflows import (
     TransferMode,
     Workflow,

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.faas.container import (
-    CONTAINER_CREATE_NS,
     GHOST_CONTAINER_BYTES,
-    Container,
     ContainerFactory,
     GhostContainer,
 )

@@ -1,6 +1,5 @@
 """Invocation engine: touch masks, warm/cold behaviour, cache effects."""
 
-import numpy as np
 import pytest
 
 from repro.faas.invocation import touch_mask

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.faas.traces import (
-    Request,
     TraceConfig,
     generate_trace,
     popularity_weights,

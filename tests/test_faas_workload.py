@@ -3,7 +3,6 @@
 import pytest
 
 from repro.faas.functions import get_function
-from repro.faas.profiles import SegmentKind
 from repro.faas.workload import FunctionWorkload
 from repro.os.mm.pte import PteFlags
 

@@ -1,6 +1,5 @@
 """Kernel: local fork semantics and teardown accounting."""
 
-import numpy as np
 import pytest
 
 from repro.os.mm.pte import PteFlags, pte_has

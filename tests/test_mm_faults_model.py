@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cxl.latency import MemoryLatencyModel
-from repro.os.mm.faults import DEFAULT_FAULT_COSTS, FaultCostModel, FaultKind
+from repro.os.mm.faults import DEFAULT_FAULT_COSTS, FaultKind
 from repro.sim.units import US
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.cxl.device import CXL_FRAME_BASE
 from repro.os.mm.pte import (
-    PTE_FLAG_MASK,
     PTE_FRAME_SHIFT,
     PteFlags,
     make_pte,

@@ -7,7 +7,7 @@ from repro.faas.traces import Request, TraceConfig, generate_trace
 from repro.os.fs.cxlfs import CxlFileSystem
 from repro.porter.autoscaler import CxlPorter, PorterConfig
 from repro.porter.keepalive import KeepAlivePolicy
-from repro.sim.units import GIB, MS, SEC
+from repro.sim.units import GIB, SEC
 
 
 def build_porter(mechanism="cxlfork", *, dram_gib=8, cpu=8, **config_kw):

@@ -11,7 +11,6 @@ and checks the global invariants that every mechanism depends on:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

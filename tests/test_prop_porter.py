@@ -6,7 +6,6 @@ horizon — never dropped), never corrupt memory accounting, and leave the
 pod reclaimable.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

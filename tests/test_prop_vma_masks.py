@@ -1,6 +1,6 @@
 """Property-based tests: VMA tree ordering and touch-mask guarantees."""
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.faas.invocation import touch_mask

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.os.mm.pte import PteFlags
 from repro.serial.codec import decode, encode
 from repro.serial.records import (
     FdRecord,

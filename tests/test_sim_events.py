@@ -70,6 +70,63 @@ class TestCancellation:
         q.cancel(event)
         assert q.peek_time() == 20
 
+    def test_cancel_returns_whether_live(self):
+        q = EventQueue()
+        event = q.schedule(10, lambda: None)
+        assert q.cancel(event) is True
+        assert q.cancel(event) is False
+
+    def test_double_cancel_does_not_swallow_later_events(self):
+        # Regression: cancelling twice used to leave a stale sequence in the
+        # cancelled set (the dispatch loop only discards one occurrence),
+        # which could linger and skew bookkeeping.
+        q = EventQueue()
+        fired = []
+        event = q.schedule(10, lambda: fired.append("dead"))
+        q.cancel(event)
+        q.cancel(event)
+        q.schedule(20, lambda: fired.append("live"))
+        assert q.run() == 1
+        assert fired == ["live"]
+        assert len(q) == 0
+
+    def test_double_cancel_len_does_not_drift(self):
+        q = EventQueue()
+        event = q.schedule(10, lambda: None)
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+        q.schedule(20, lambda: None)
+        assert len(q) == 1
+
+    def test_cancel_after_dispatch_is_noop(self):
+        # Regression: cancelling an already-dispatched event used to poison
+        # the cancelled set forever and drive len() negative.
+        q = EventQueue()
+        event = q.schedule(10, lambda: None)
+        q.step()
+        assert q.cancel(event) is False
+        assert len(q) == 0
+        fired = []
+        q.schedule(20, lambda: fired.append(1))
+        assert len(q) == 1
+        q.run()
+        assert fired == [1]
+
+    def test_run_until_with_cancelled_head_does_not_overrun(self):
+        # Regression: run(until=...) peeked at the raw heap head; with a
+        # cancelled event at the front it could dispatch a live event
+        # scheduled past the horizon.
+        q = EventQueue()
+        fired = []
+        event = q.schedule(10, lambda: fired.append(10))
+        q.schedule(100, lambda: fired.append(100))
+        q.cancel(event)
+        assert q.run(until=50) == 0
+        assert fired == []
+        assert q.now == 50
+        assert len(q) == 1
+
 
 class TestRun:
     def test_run_until(self):

@@ -43,3 +43,31 @@ class TestEventLog:
         log.emit(1, "x")
         log.clear()
         assert len(log) == 0
+
+    def test_iteration_yields_records_in_order(self):
+        log = EventLog()
+        log.emit(1, "a")
+        log.emit(2, "b")
+        assert [r.kind for r in log] == ["a", "b"]
+
+    def test_when_coerced_to_int(self):
+        log = EventLog()
+        log.emit(1.7, "x")
+        record = log.records("x")[0]
+        assert record.when == 1
+        assert isinstance(record.when, int)
+
+    def test_disabled_last_and_count_are_empty(self):
+        log = EventLog(enabled=False)
+        log.emit(10, "fault", page=1)
+        assert log.records() == []
+        assert log.count("fault") == 0
+        assert log.last("fault") is None
+
+    def test_records_returns_copy(self):
+        log = EventLog()
+        log.emit(1, "x")
+        snapshot = log.records()
+        log.emit(2, "x")
+        assert len(snapshot) == 1
+        assert len(log.records()) == 2

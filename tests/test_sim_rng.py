@@ -1,6 +1,6 @@
 """RNG streams: determinism and independence."""
 
-from repro.sim.rng import RngStream, SeedSequenceFactory
+from repro.sim.rng import SeedSequenceFactory
 
 
 class TestDeterminism:

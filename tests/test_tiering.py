@@ -6,7 +6,7 @@ import pytest
 from repro.faas.workload import FunctionWorkload
 from repro.os.mm.faults import FaultKind
 from repro.os.mm.pagetable import PageTable
-from repro.os.mm.pte import PteFlags, make_ptes
+from repro.os.mm.pte import PteFlags
 from repro.rfork.cxlfork import CxlFork
 from repro.tiering import (
     HybridTiering,
