@@ -7,6 +7,7 @@ Usage::
     python -m repro run fig10 --fast
     python -m repro trace fig6 [-o trace.json] [--jsonl spans.jsonl]
     python -m repro report [--full] [-o report.md]
+    python -m repro bench [--quick] [--update] [fig7 fig3 ...]
 """
 
 from __future__ import annotations
@@ -111,6 +112,13 @@ def _cmd_report(full: bool, output: str | None) -> int:
 
 
 def main(argv=None) -> int:
+    args_in = list(sys.argv[1:] if argv is None else argv)
+    if args_in and args_in[0] == "bench":
+        # The bench harness owns its argument parsing (it is also runnable
+        # as benchmarks/harness.py from the repo root).
+        from repro.bench import main as bench_main
+
+        return bench_main(args_in[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="CXLfork reproduction: run the paper's experiments.",
@@ -132,6 +140,10 @@ def main(argv=None) -> int:
                                    "(default: trace-<experiment>.json)")
     trace_parser.add_argument("--jsonl", default=None,
                               help="also write a JSONL span/metric dump here")
+    sub.add_parser(
+        "bench",
+        help="wall-clock benchmark harness (handled above; see repro.bench)",
+    )
     report_parser = sub.add_parser("report", help="generate the full report")
     report_parser.add_argument("--full", action="store_true",
                                help="full-scale sweeps (slow)")

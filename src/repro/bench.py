@@ -1,0 +1,415 @@
+"""Wall-clock benchmark harness: catch host-CPU regressions like tier-1
+catches correctness regressions.
+
+The simulator's *virtual-time* results are covered by the test suite; what
+nothing guarded before this module is the *host* cost of producing them —
+an accidentally quadratic scan keeps every test green while making
+``python -m repro run fig7`` several times slower.  The harness times each
+experiment, hashes its simulated results into a ``sim_results_digest``
+(which doubles as a determinism guard: an "optimization" that changes
+simulated output is a bug, not a speedup), and compares both against a
+committed baseline::
+
+    python -m repro bench fig7            # compare against the baseline
+    python -m repro bench --quick fig7    # reduced scale; wall report-only
+    python -m repro bench --update fig7   # rewrite the baseline
+
+Baselines live in ``benchmarks/baselines/BENCH_<exp>.json`` with the
+full-mode ``{wall_s, host_calls, sim_results_digest}`` at top level and the
+quick-mode triple under ``"quick"``.  Digest mismatches always fail; wall
+time fails only in full mode when it exceeds ``baseline * (1 + tolerance)``
+(quick mode is meant for CI, where wall clocks are too noisy to gate on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import sys
+import time
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+#: Default headroom before a full-mode wall-time comparison fails.
+DEFAULT_TOLERANCE = 0.5
+
+#: Quick-mode subset for fig7 (two functions spanning tiny and mid-size
+#: working sets; full mode runs all ten Table-1 functions).
+FIG7_QUICK_FUNCTIONS = ["float", "json"]
+
+
+@dataclasses.dataclass
+class BenchSpec:
+    """How to run one experiment under the harness."""
+
+    name: str
+    description: str
+    run_full: Callable[[], Any]
+    run_quick: Callable[[], Any]
+
+
+def _fig7_full() -> Any:
+    from repro.experiments import fig7_performance
+
+    return fig7_performance.run()
+
+
+def _fig7_quick() -> Any:
+    from repro.experiments import fig7_performance
+
+    return fig7_performance.run(functions=FIG7_QUICK_FUNCTIONS)
+
+
+def _fig3() -> Any:
+    from repro.experiments import fig3_motivation
+
+    return fig3_motivation.run()
+
+
+def _fig10(total_rps: float, duration_s: float) -> Any:
+    from repro.experiments import fig10_porter
+
+    config = fig10_porter.Fig10Config(total_rps=total_rps, duration_s=duration_s)
+    return fig10_porter.run(config)
+
+
+BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
+    "fig7": BenchSpec(
+        name="fig7",
+        description="Fig. 7 rfork performance (the hottest simulator path)",
+        run_full=_fig7_full,
+        run_quick=_fig7_quick,
+    ),
+    "fig3": BenchSpec(
+        name="fig3",
+        description="Fig. 3c motivation (BERT checkpoint scans)",
+        run_full=_fig3,
+        run_quick=_fig3,
+    ),
+    "fig10": BenchSpec(
+        name="fig10",
+        description="Fig. 10 CXLporter (scheduler + invocation engine)",
+        run_full=lambda: _fig10(80.0, 8.0),
+        run_quick=lambda: _fig10(40.0, 4.0),
+    ),
+}
+
+
+# -- digesting -----------------------------------------------------------------
+
+
+def _canonical(obj: Any) -> Any:
+    """Recursively convert experiment results to JSON-stable structures."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if hasattr(obj, "dtype"):  # numpy array or scalar, without importing numpy
+        if getattr(obj, "ndim", 0):
+            return obj.tolist()
+        return obj.item()
+    return obj
+
+
+def results_digest(result: Any) -> str:
+    """Deterministic sha256 over an experiment's simulated results."""
+    blob = json.dumps(_canonical(result), sort_keys=True, separators=(",", ":"))
+    return sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- measurement ---------------------------------------------------------------
+
+
+def _count_host_calls(fn: Callable[[], Any]) -> tuple[int, Any]:
+    """Run ``fn`` counting Python + C function calls via ``sys.setprofile``."""
+    count = 0
+
+    def profiler(frame, event, arg):  # noqa: ARG001 - profile signature
+        nonlocal count
+        if event == "call" or event == "c_call":
+            count += 1
+
+    sys.setprofile(profiler)
+    try:
+        result = fn()
+    finally:
+        sys.setprofile(None)
+    return count, result
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """One harness run of one experiment."""
+
+    experiment: str
+    mode: str  # "full" | "quick"
+    wall_s: float
+    host_calls: Optional[int]
+    sim_results_digest: str
+
+    def to_entry(self) -> dict:
+        return {
+            "wall_s": round(self.wall_s, 3),
+            "host_calls": self.host_calls,
+            "sim_results_digest": self.sim_results_digest,
+        }
+
+
+def run_bench(name: str, *, quick: bool = False, count_calls: bool = True) -> BenchResult:
+    """Time one experiment and digest its simulated results.
+
+    The timed run is unprofiled (wall_s measures the real cost); in full
+    mode a second run under a call-counting profiler records ``host_calls``
+    — a noise-free proxy for host work that survives machine changes.
+    """
+    spec = BENCH_EXPERIMENTS[name]
+    runner = spec.run_quick if quick else spec.run_full
+    t0 = time.perf_counter()
+    result = runner()
+    wall_s = time.perf_counter() - t0
+    digest = results_digest(result)
+    host_calls: Optional[int] = None
+    if count_calls and not quick:
+        host_calls, recount = _count_host_calls(runner)
+        redigest = results_digest(recount)
+        if redigest != digest:
+            raise RuntimeError(
+                f"{name}: non-deterministic simulated results "
+                f"({digest[:12]} vs {redigest[:12]}) — the digest guard "
+                "requires runs to be bit-identical"
+            )
+    return BenchResult(
+        experiment=name,
+        mode="quick" if quick else "full",
+        wall_s=wall_s,
+        host_calls=host_calls,
+        sim_results_digest=digest,
+    )
+
+
+# -- baselines -----------------------------------------------------------------
+
+
+def default_baseline_dir() -> Path:
+    """``benchmarks/baselines`` at the repo root (next to ``src/``)."""
+    return Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+
+
+def baseline_path(name: str, baseline_dir: Optional[Path] = None) -> Path:
+    root = baseline_dir if baseline_dir is not None else default_baseline_dir()
+    return root / f"BENCH_{name}.json"
+
+
+def load_baseline(name: str, baseline_dir: Optional[Path] = None) -> Optional[dict]:
+    path = baseline_path(name, baseline_dir)
+    if not path.exists():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def write_baseline(
+    name: str,
+    full: BenchResult,
+    quick: BenchResult,
+    baseline_dir: Optional[Path] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json``: full-mode triple at top level (the
+    ISSUE-specified shape) plus the quick-mode triple for CI."""
+    path = baseline_path(name, baseline_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"experiment": name, **full.to_entry(), "quick": quick.to_entry()}
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+@dataclasses.dataclass
+class Comparison:
+    """Harness verdict for one experiment against its baseline."""
+
+    result: BenchResult
+    baseline: Optional[dict]
+    tolerance: float
+
+    @property
+    def baseline_entry(self) -> Optional[dict]:
+        if self.baseline is None:
+            return None
+        if self.result.mode == "quick":
+            return self.baseline.get("quick")
+        return {
+            k: self.baseline.get(k)
+            for k in ("wall_s", "host_calls", "sim_results_digest")
+        }
+
+    @property
+    def digest_ok(self) -> bool:
+        entry = self.baseline_entry
+        if entry is None:
+            return True  # nothing to compare against
+        return entry["sim_results_digest"] == self.result.sim_results_digest
+
+    @property
+    def wall_ok(self) -> bool:
+        entry = self.baseline_entry
+        if entry is None or entry.get("wall_s") is None:
+            return True
+        return self.result.wall_s <= entry["wall_s"] * (1.0 + self.tolerance)
+
+    @property
+    def wall_gated(self) -> bool:
+        """Wall time only gates full-mode runs (quick mode = CI, noisy)."""
+        return self.result.mode == "full"
+
+    @property
+    def ok(self) -> bool:
+        return self.digest_ok and (self.wall_ok or not self.wall_gated)
+
+    def describe(self) -> str:
+        r = self.result
+        entry = self.baseline_entry
+        lines = [f"{r.experiment} [{r.mode}]: wall {r.wall_s:.2f}s"]
+        if r.host_calls is not None:
+            lines[0] += f", {r.host_calls:,} host calls"
+        lines[0] += f", digest {r.sim_results_digest[:12]}"
+        if entry is None:
+            lines.append("  no baseline (run with --update to create one)")
+            return "\n".join(lines)
+        base_wall = entry.get("wall_s")
+        if base_wall:
+            ratio = r.wall_s / base_wall
+            gate = "" if self.wall_gated else " (report-only)"
+            verdict = "ok" if self.wall_ok else f"REGRESSION >{self.tolerance:.0%}"
+            lines.append(
+                f"  wall vs baseline {base_wall:.2f}s: {ratio:.2f}x "
+                f"[{verdict}]{gate}"
+            )
+        base_calls = entry.get("host_calls")
+        if base_calls and r.host_calls is not None:
+            lines.append(
+                f"  host calls vs baseline {base_calls:,}: "
+                f"{r.host_calls / base_calls:.2f}x (report-only)"
+            )
+        if self.digest_ok:
+            lines.append("  digest: match")
+        else:
+            lines.append(
+                "  digest: MISMATCH — simulated results differ from the "
+                f"baseline ({entry['sim_results_digest'][:12]})"
+            )
+        return "\n".join(lines)
+
+
+def compare_to_baseline(
+    result: BenchResult,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    baseline_dir: Optional[Path] = None,
+) -> Comparison:
+    return Comparison(
+        result=result,
+        baseline=load_baseline(result.experiment, baseline_dir),
+        tolerance=tolerance,
+    )
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for ``python -m repro bench`` / ``benchmarks/harness.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Wall-clock benchmark harness with digest determinism guard.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiments to benchmark (default: all of {sorted(BENCH_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale; wall-time comparison is report-only (CI mode)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baselines from this run (runs both modes)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed wall-time slowdown vs baseline before failing "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="override the baseline directory (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--no-calls",
+        action="store_true",
+        help="skip the second, call-counting run in full mode",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or sorted(BENCH_EXPERIMENTS)
+    unknown = [n for n in names if n not in BENCH_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; known: {sorted(BENCH_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline_dir = Path(args.baseline_dir) if args.baseline_dir else None
+
+    if args.update:
+        for name in names:
+            full = run_bench(name, quick=False, count_calls=not args.no_calls)
+            quick = run_bench(name, quick=True)
+            path = write_baseline(name, full, quick, baseline_dir)
+            print(f"{name}: wrote {path} (wall {full.wall_s:.2f}s, "
+                  f"digest {full.sim_results_digest[:12]})")
+        return 0
+
+    failed = False
+    for name in names:
+        result = run_bench(name, quick=args.quick, count_calls=not args.no_calls)
+        comparison = compare_to_baseline(
+            result, tolerance=args.tolerance, baseline_dir=baseline_dir
+        )
+        print(comparison.describe())
+        if not comparison.ok:
+            failed = True
+    return 1 if failed else 0
+
+
+__all__ = [
+    "BENCH_EXPERIMENTS",
+    "BenchResult",
+    "BenchSpec",
+    "Comparison",
+    "compare_to_baseline",
+    "default_baseline_dir",
+    "load_baseline",
+    "main",
+    "results_digest",
+    "run_bench",
+    "write_baseline",
+]

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.os.mm.faults import DEFAULT_FAULT_COSTS, FaultCostModel, FaultKind
 from repro.os.mm.mmdesc import MemoryDescriptor
-from repro.os.mm.pagetable import PageTable, PteLeaf
+from repro.os.mm.pagetable import LEAF_SHIFT, PTES_PER_LEAF, PageTable, PteLeaf
 from repro.os.mm.pte import (
     PTE_FRAME_SHIFT,
     PteFlags,
@@ -556,15 +556,35 @@ class Kernel:
                 f"{task.comm}/{task.pid}: write to read-only VMA at vpn {start_vpn}"
             )
         stats = FaultStats()
+        # Normalize the touch mask once, outside the per-chunk loop;
+        # ``None`` means "every page touched" and avoids materializing an
+        # all-ones array per chunk.
+        mask = None
+        if touched_mask is not None:
+            mask = np.asarray(touched_mask, dtype=bool)
+        pagetable = task.mm.pagetable
         offset = 0
-        for leaf, leaf_index, sl, vpn0 in task.mm.pagetable.iter_range(start_vpn, npages):
-            chunk_len = sl.stop - sl.start
-            if touched_mask is not None:
-                sub = touched_mask[offset : offset + chunk_len]
-            else:
-                sub = None
-            self._access_chunk(task, vma, leaf_index, sl, vpn0, sub, write, stats)
+        vpn = start_vpn
+        end = start_vpn + npages
+        while vpn < end:
+            leaf_index = vpn >> LEAF_SHIFT
+            lo = vpn & (PTES_PER_LEAF - 1)
+            hi = min(PTES_PER_LEAF, lo + (end - vpn))
+            chunk_len = hi - lo
+            sub = mask[offset : offset + chunk_len] if mask is not None else None
+            if sub is None or sub.any():
+                # Create the leaf only when a page in this chunk is actually
+                # touched (a touch of a non-present page always installs a
+                # PTE); all-False chunks must not allocate empty leaves,
+                # which would inflate local_table_pages() for sparse sets.
+                leaf = pagetable.leaf_or_none(leaf_index)
+                if leaf is None:
+                    leaf = pagetable.ensure_leaf(leaf_index)
+                self._access_chunk(
+                    task, vma, leaf, leaf_index, slice(lo, hi), vpn, sub, write, stats
+                )
             offset += chunk_len
+            vpn += chunk_len
         self.clock.advance(stats.cost_ns)
         if TRACE.enabled and stats.total_faults:
             for kind, n in stats.counts.items():
@@ -609,6 +629,7 @@ class Kernel:
         self,
         task: Task,
         vma: Vma,
+        leaf: PteLeaf,
         leaf_index: int,
         sl: slice,
         vpn0: int,
@@ -616,20 +637,23 @@ class Kernel:
         write: bool,
         stats: FaultStats,
     ) -> None:
-        mm = task.mm
-        leaf = mm.pagetable.leaf(leaf_index)
+        """Resolve the touched pages of one PTE-leaf chunk.
+
+        ``sub`` is either a normalized boolean mask (guaranteed non-empty by
+        the caller) or ``None`` meaning every page in the chunk is touched —
+        the fast path skips materializing an all-ones mask entirely.
+        """
         ptes = leaf.ptes[sl]
-        if sub is None:
-            mask = np.ones(sl.stop - sl.start, dtype=bool)
-        else:
-            mask = sub.astype(bool, copy=False)
-            if not mask.any():
-                return
         present = (ptes & _PRESENT) != 0
-        not_present = mask & ~present
+        if sub is None:
+            not_present = ~present
+            touched_present = present
+        else:
+            not_present = sub & ~present
+            touched_present = sub & present
         any_np = bool(not_present.any())
         if write:
-            cow_hits = mask & present & ((ptes & _COW) != 0)
+            cow_hits = touched_present & ((ptes & _COW) != 0)
             any_cow = bool(cow_hits.any())
         else:
             cow_hits = None
@@ -641,7 +665,6 @@ class Kernel:
 
         # Hardware A/D updates happen regardless of faulting (and are legal
         # on shared leaves — this is the §4.3 harvesting channel).
-        touched_present = mask & present
         if touched_present.any():
             ptes[touched_present] |= _ACCESSED
             if write:
@@ -656,10 +679,15 @@ class Kernel:
             self._do_not_present(task, vma, leaf, sl, vpn0, not_present, write, stats)
 
         # Final placement tally for the touched pages of this chunk.
-        final = leaf.ptes[sl][mask]
+        if sub is None:
+            final = leaf.ptes[sl]
+            n_touched = sl.stop - sl.start
+        else:
+            final = leaf.ptes[sl][sub]
+            n_touched = int(sub.sum())
         n_cxl = int(((final & _CXL) != 0).sum())
         stats.touched_cxl += n_cxl
-        stats.touched_local += int(mask.sum()) - n_cxl
+        stats.touched_local += n_touched - n_cxl
 
     # -- CoW ------------------------------------------------------------------------
 

@@ -110,6 +110,10 @@ class PageTable:
     def leaf(self, leaf_index: int) -> PteLeaf:
         return self._leaves[leaf_index]
 
+    def leaf_or_none(self, leaf_index: int) -> Optional[PteLeaf]:
+        """The leaf for ``leaf_index`` if it exists, else None (no creation)."""
+        return self._leaves.get(leaf_index)
+
     def ensure_leaf(self, leaf_index: int) -> PteLeaf:
         """Get the leaf for ``leaf_index``, creating an empty local one."""
         existing = self._leaves.get(leaf_index)

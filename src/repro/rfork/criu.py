@@ -43,6 +43,7 @@ from repro.serial.records import (
     task_to_records,
     vma_records,
 )
+from repro.sim.npx import count_in_range, ensure_sorted
 from repro.sim.units import PAGE_SIZE
 from repro.telemetry import TRACE
 
@@ -128,8 +129,9 @@ class CriuCxl(RemoteForkMechanism):
             file_clean_vpns = self._file_clean_pages(task)
             dumped = 0
             for record in ckpt.pagemaps:
-                run = np.arange(record.start_vpn, record.start_vpn + record.npages)
-                dumped += int(np.count_nonzero(~np.isin(run, file_clean_vpns)))
+                dumped += record.npages - count_in_range(
+                    file_clean_vpns, record.start_vpn, record.start_vpn + record.npages
+                )
             ckpt.dumped_pages = dumped
 
             # Serialize metadata + page data; write files to the CXL FS.
@@ -172,7 +174,9 @@ class CriuCxl(RemoteForkMechanism):
 
     @staticmethod
     def _file_clean_pages(task: Task) -> np.ndarray:
-        """vpns of present, clean, file-backed pages (not dumped by CRIU)."""
+        """Sorted vpns of present, clean, file-backed pages (not dumped by
+        CRIU).  Sorted ascending so the checkpoint scans can use the
+        searchsorted helpers instead of ``np.isin``."""
         chunks = []
         for vma in task.mm.vmas:
             if vma.kind is not VmaKind.FILE_PRIVATE:
@@ -185,7 +189,9 @@ class CriuCxl(RemoteForkMechanism):
                 chunks.append(vma.start_vpn + sel)
         if not chunks:
             return np.empty(0, dtype=np.int64)
-        return np.concatenate(chunks)
+        # VMA iteration order is ascending, so the chunks concatenate sorted;
+        # ensure_sorted is a cheap monotonicity check in that common case.
+        return ensure_sorted(np.concatenate(chunks))
 
     # -- restore --------------------------------------------------------------
 

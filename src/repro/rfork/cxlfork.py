@@ -42,6 +42,7 @@ from repro.serial.blob import CxlHeap
 from repro.serial.codec import Codec
 from repro.serial.rebase import RebaseError, Rebaser
 from repro.serial.records import FdRecord, NamespaceRecord, RegsRecord
+from repro.sim.npx import mask_in_range
 from repro.sim.units import PAGE_SIZE
 from repro.telemetry import TRACE
 from repro.tiering.mow import MigrateOnWrite
@@ -195,8 +196,7 @@ class CxlFork(RemoteForkMechanism):
                 present = (leaf.ptes & np.int64(int(PteFlags.PRESENT))) != 0
                 if skip_vpns is not None and skip_vpns.size:
                     base = leaf_index * PTES_PER_LEAF
-                    window = np.arange(base, base + PTES_PER_LEAF)
-                    present &= ~np.isin(window, skip_vpns)
+                    present &= ~mask_in_range(skip_vpns, base, PTES_PER_LEAF)
                 count = int(np.count_nonzero(present))
                 new_ptes = np.zeros(PTES_PER_LEAF, dtype=np.int64)
                 if count:

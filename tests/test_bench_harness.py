@@ -1,0 +1,158 @@
+"""The wall-clock benchmark harness: digests, baselines, and determinism.
+
+The determinism contract is the load-bearing piece: the hot-path overhaul
+(indexed VMA tree, searchsorted scans, no-empty-leaf faulting) is only a
+valid optimization if simulated results are bit-identical run to run and
+against the committed baseline digest.
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.bench import (
+    BENCH_EXPERIMENTS,
+    BenchResult,
+    compare_to_baseline,
+    load_baseline,
+    results_digest,
+    run_bench,
+    write_baseline,
+)
+from repro.experiments import fig7_performance
+
+
+class TestResultsDigest:
+    def test_stable_across_equal_structures(self):
+        rows = [
+            fig7_performance.Fig7Row(
+                function="f", mechanism="m", restore_ms=1.0, fault_ms=2.0,
+                exec_ms=3.0, total_ms=6.0, local_mb=4.5,
+            )
+        ]
+        again = [
+            fig7_performance.Fig7Row(
+                function="f", mechanism="m", restore_ms=1.0, fault_ms=2.0,
+                exec_ms=3.0, total_ms=6.0, local_mb=4.5,
+            )
+        ]
+        assert results_digest(rows) == results_digest(again)
+
+    def test_sensitive_to_any_field(self):
+        row = fig7_performance.Fig7Row(
+            function="f", mechanism="m", restore_ms=1.0, fault_ms=2.0,
+            exec_ms=3.0, total_ms=6.0, local_mb=4.5,
+        )
+        tweaked = fig7_performance.Fig7Row(
+            function="f", mechanism="m", restore_ms=1.0, fault_ms=2.0,
+            exec_ms=3.0, total_ms=6.0, local_mb=4.5000001,
+        )
+        assert results_digest([row]) != results_digest([tweaked])
+
+    def test_handles_numpy_and_enums(self):
+        import enum
+
+        import numpy as np
+
+        class Kind(enum.Enum):
+            A = "a"
+
+        payload = {"arr": np.arange(3), "scalar": np.int64(7), "kind": Kind.A}
+        digest = results_digest(payload)
+        assert digest == results_digest(
+            {"arr": [0, 1, 2], "scalar": 7, "kind": "a"}
+        )
+
+
+class TestBaselineRoundTrip:
+    def _result(self, mode: str, wall: float, digest: str) -> BenchResult:
+        return BenchResult(
+            experiment="fig7", mode=mode, wall_s=wall,
+            host_calls=123 if mode == "full" else None,
+            sim_results_digest=digest,
+        )
+
+    def test_write_then_compare_ok(self, tmp_path):
+        full = self._result("full", 5.0, "d" * 64)
+        quick = self._result("quick", 0.5, "e" * 64)
+        path = write_baseline("fig7", full, quick, tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["wall_s"] == 5.0
+        assert payload["sim_results_digest"] == "d" * 64
+        assert payload["quick"]["sim_results_digest"] == "e" * 64
+        assert load_baseline("fig7", tmp_path) == payload
+
+        comparison = compare_to_baseline(full, baseline_dir=tmp_path)
+        assert comparison.ok and comparison.digest_ok and comparison.wall_ok
+
+    def test_digest_mismatch_fails_even_in_quick_mode(self, tmp_path):
+        full = self._result("full", 5.0, "d" * 64)
+        quick = self._result("quick", 0.5, "e" * 64)
+        write_baseline("fig7", full, quick, tmp_path)
+        drifted = self._result("quick", 0.5, "f" * 64)
+        comparison = compare_to_baseline(drifted, baseline_dir=tmp_path)
+        assert not comparison.digest_ok
+        assert not comparison.ok
+
+    def test_wall_regression_gates_full_but_not_quick(self, tmp_path):
+        full = self._result("full", 5.0, "d" * 64)
+        quick = self._result("quick", 0.5, "e" * 64)
+        write_baseline("fig7", full, quick, tmp_path)
+
+        slow_full = self._result("full", 5.0 * 3, "d" * 64)
+        comparison = compare_to_baseline(
+            slow_full, tolerance=0.5, baseline_dir=tmp_path
+        )
+        assert not comparison.wall_ok and comparison.wall_gated
+        assert not comparison.ok
+
+        slow_quick = self._result("quick", 0.5 * 3, "e" * 64)
+        comparison = compare_to_baseline(
+            slow_quick, tolerance=0.5, baseline_dir=tmp_path
+        )
+        assert not comparison.wall_ok and not comparison.wall_gated
+        assert comparison.ok  # report-only in quick/CI mode
+
+    def test_missing_baseline_is_ok(self, tmp_path):
+        comparison = compare_to_baseline(
+            self._result("full", 5.0, "d" * 64), baseline_dir=tmp_path
+        )
+        assert comparison.baseline is None
+        assert comparison.ok
+
+
+class TestDeterminism:
+    """Satellite: fig7 twice, and once under ``repro bench``, same digest."""
+
+    @pytest.fixture(scope="class")
+    def quick_runs(self):
+        first = fig7_performance.run(functions=bench.FIG7_QUICK_FUNCTIONS)
+        second = fig7_performance.run(functions=bench.FIG7_QUICK_FUNCTIONS)
+        harness = run_bench("fig7", quick=True)
+        return first, second, harness
+
+    def test_two_direct_runs_identical(self, quick_runs):
+        first, second, _ = quick_runs
+        assert results_digest(first) == results_digest(second)
+
+    def test_harness_run_matches_direct_runs(self, quick_runs):
+        first, _, harness = quick_runs
+        assert harness.sim_results_digest == results_digest(first)
+
+    def test_harness_digest_matches_committed_baseline(self, quick_runs):
+        """Guards the same contract as CI's bench-smoke job: the optimized
+        code paths must reproduce the committed simulated results."""
+        _, _, harness = quick_runs
+        baseline = load_baseline("fig7")
+        assert baseline is not None, "benchmarks/baselines/BENCH_fig7.json missing"
+        assert harness.sim_results_digest == baseline["quick"]["sim_results_digest"]
+
+
+class TestBenchRegistry:
+    def test_all_baselined_experiments_registered(self):
+        assert {"fig7", "fig3", "fig10"} <= set(BENCH_EXPERIMENTS)
+
+    def test_cli_rejects_unknown_experiment(self, capsys):
+        assert bench.main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""Regression tests: sparse touch masks must not allocate empty PTE leaves.
+
+``access_range`` used to walk the range with ``PageTable.iter_range``, which
+creates an empty leaf for *every* chunk it visits — even chunks whose touch
+mask is all-False.  Those phantom leaves are pure local page-table memory,
+so they inflated ``local_table_pages()`` (the Fig. 7b metric) for sparse
+working sets without a single page being touched in them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.os.mm.faults import FaultKind
+from repro.os.mm.pagetable import PTES_PER_LEAF
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task("worker")
+
+
+class TestSparseMaskLeafAllocation:
+    def test_all_false_mask_leaves_leaf_count_unchanged(self, kernel, task):
+        npages = 3 * PTES_PER_LEAF
+        vma = kernel.map_anon_region(task, npages, populate=False)
+        before = task.mm.pagetable.leaf_count
+        mask = np.zeros(npages, dtype=bool)
+        stats = kernel.access_range(
+            task, vma.start_vpn, npages, write=False, touched_mask=mask
+        )
+        assert stats.total_faults == 0
+        assert stats.touched_local == 0 and stats.touched_cxl == 0
+        assert task.mm.pagetable.leaf_count == before
+
+    def test_hole_chunks_allocate_no_leaves(self, kernel, task):
+        """Touches confined to the first chunk must not create leaves for
+        the untouched middle/last chunks of the range."""
+        npages = 4 * PTES_PER_LEAF
+        vma = kernel.map_anon_region(task, npages, populate=False)
+        before = task.mm.pagetable.leaf_count
+        mask = np.zeros(npages, dtype=bool)
+        mask[:7] = True  # all touches land in chunk 0
+        stats = kernel.access_range(
+            task, vma.start_vpn, npages, write=False, touched_mask=mask
+        )
+        assert stats.count(FaultKind.ANON_ZERO) == 7
+        assert task.mm.pagetable.leaf_count == before + 1
+
+    def test_local_table_pages_not_inflated_by_sparse_reads(self, kernel, task):
+        """The Fig. 7b metric: a one-page touch of a huge region costs one
+        leaf, not one leaf per 2 MiB chunk of the region."""
+        npages = 16 * PTES_PER_LEAF
+        vma = kernel.map_anon_region(task, npages, populate=False)
+        baseline = task.mm.pagetable.local_table_pages()
+        mask = np.zeros(npages, dtype=bool)
+        mask[0] = True
+        kernel.access_range(task, vma.start_vpn, npages, write=False, touched_mask=mask)
+        assert task.mm.pagetable.leaf_count == 1  # not one per untouched chunk
+        inflated = task.mm.pagetable.local_table_pages() - baseline
+        # One new PTE leaf plus the PMD/PUD tables above it — never the 16
+        # leaves the old iter_range walk would have materialized.
+        assert inflated <= 3
+
+    def test_full_touch_still_creates_all_leaves(self, kernel, task):
+        npages = 2 * PTES_PER_LEAF
+        vma = kernel.map_anon_region(task, npages, populate=False)
+        kernel.access_range(task, vma.start_vpn, npages, write=True)
+        assert task.mm.pagetable.count_present() == npages
+
+    def test_sparse_and_dense_masks_agree_on_faults(self, kernel, task):
+        """The skip-empty-chunk fast path must not change fault accounting
+        for the chunks that are touched."""
+        npages = 3 * PTES_PER_LEAF
+        vma = kernel.map_anon_region(task, npages, populate=False)
+        mask = np.zeros(npages, dtype=bool)
+        mask[PTES_PER_LEAF : PTES_PER_LEAF + 13] = True
+        stats = kernel.access_range(
+            task, vma.start_vpn, npages, write=True, touched_mask=mask
+        )
+        assert stats.count(FaultKind.ANON_ZERO) == 13
+        assert stats.touched_local == 13
+        assert task.mm.owned_local_pages == 13
