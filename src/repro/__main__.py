@@ -27,6 +27,10 @@ EXPERIMENTS = {
     "fig10": ("repro.experiments.fig10_porter", "Fig. 10: CXLporter"),
     "checkpoint": ("repro.experiments.checkpoint_perf", "§7.1: checkpoint perf"),
     "failure": ("repro.experiments.failure", "Extension: node failure"),
+    "failure-sweep": (
+        "repro.experiments.failure_sweep",
+        "Extension: crash-timing sweep (survival, recovery, leak audit)",
+    ),
     "scalability": ("repro.experiments.scalability", "Extension: bandwidth scaling"),
     "keepalive": ("repro.experiments.keepalive_study", "Extension: keep-alive sweep"),
     "density": ("repro.experiments.density", "Extension: instances per memory budget"),
@@ -51,6 +55,10 @@ def _cmd_run(name: str, fast: bool) -> int:
     import importlib
 
     module = importlib.import_module(module_path)
+    if name == "failure-sweep":
+        from repro.experiments import failure_sweep
+
+        return failure_sweep.main(["--quick"] if fast else [])
     if fast and name == "fig10":
         from repro.experiments import fig10_porter
 

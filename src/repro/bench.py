@@ -75,6 +75,16 @@ def _fig10(total_rps: float, duration_s: float) -> Any:
     return fig10_porter.run(config)
 
 
+def _failure_sweep(quick: bool) -> Any:
+    from repro.experiments import failure_sweep
+
+    rows = failure_sweep.run(quick=quick, seed=0)
+    leaked = sum(r.leaked_frames for r in rows)
+    if leaked:
+        raise RuntimeError(f"failure sweep leaked {leaked} frames")
+    return rows
+
+
 BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
     "fig7": BenchSpec(
         name="fig7",
@@ -93,6 +103,12 @@ BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
         description="Fig. 10 CXLporter (scheduler + invocation engine)",
         run_full=lambda: _fig10(80.0, 8.0),
         run_quick=lambda: _fig10(40.0, 4.0),
+    ),
+    "failure-sweep": BenchSpec(
+        name="failure-sweep",
+        description="Crash-timing sweep (fault injection + leak audit)",
+        run_full=lambda: _failure_sweep(False),
+        run_quick=lambda: _failure_sweep(True),
     ),
 }
 

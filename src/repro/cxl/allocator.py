@@ -9,7 +9,8 @@ across nodes and are reclaimed only when the last sharer drops them.
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -24,6 +25,44 @@ class OutOfMemoryError(RuntimeError):
         )
         self.pool = pool
         self.requested = requested
+
+
+@dataclass
+class LeakReport:
+    """Outcome of cross-checking a pool's refcounts against its live owners.
+
+    ``leaked`` holds frames the pool thinks are allocated but no live owner
+    accounts for; ``mismatched`` maps frames to ``(actual, expected)``
+    refcount pairs; ``missing`` holds frames an owner claims but the pool
+    considers free (a double-free or quarantine artifact).
+    """
+
+    pool: str
+    leaked: list[int] = field(default_factory=list)
+    mismatched: dict[int, tuple[int, int]] = field(default_factory=dict)
+    missing: list[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.leaked or self.mismatched or self.missing)
+
+    @property
+    def leaked_frames(self) -> int:
+        """Total frames in any inconsistent state (the sweep's headline)."""
+        return len(self.leaked) + len(self.mismatched) + len(self.missing)
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"pool {self.pool!r}: clean"
+        parts = [f"pool {self.pool!r}:"]
+        if self.leaked:
+            parts.append(f"{len(self.leaked)} leaked (e.g. {self.leaked[:4]})")
+        if self.mismatched:
+            sample = list(self.mismatched.items())[:4]
+            parts.append(f"{len(self.mismatched)} refcount mismatches (e.g. {sample})")
+        if self.missing:
+            parts.append(f"{len(self.missing)} missing (e.g. {self.missing[:4]})")
+        return " ".join(parts)
 
 
 class FrameAllocator:
@@ -46,6 +85,14 @@ class FrameAllocator:
         #: shortfall in frames and returns True if it freed memory (the
         #: allocation is retried once) — direct-reclaim, allocator-style.
         self.pressure_handler = None
+        #: Optional fault-injection hook called with the requested count at
+        #: the top of every allocation; it may raise :class:`OutOfMemoryError`
+        #: to model a transient allocation failure (see repro.faults).
+        self.fault_hook = None
+        #: Set when the pool's owner (a node) crashed: the memory is gone,
+        #: so refcount traffic against it becomes a no-op and allocation
+        #: always fails.  See :meth:`quarantine`.
+        self.quarantined = False
         self._bump = 0  # next never-allocated local index
         self._free: list[int] = []  # recycled local indices (LIFO)
         # Refcounts grow lazily: pools are sized at up to 128 GiB (33M
@@ -104,6 +151,10 @@ class FrameAllocator:
         """Allocate ``count`` frames; returns their global frame numbers."""
         if count < 0:
             raise ValueError(f"negative allocation: {count}")
+        if self.quarantined:
+            raise OutOfMemoryError(self, count)
+        if self.fault_hook is not None:
+            self.fault_hook(count)
         if count > self.free_frames:
             handler = self.pressure_handler
             if handler is not None:
@@ -134,6 +185,8 @@ class FrameAllocator:
 
     def get(self, frames: "np.ndarray | Iterable[int] | int") -> None:
         """Increment refcounts (a new sharer mapped these frames)."""
+        if self.quarantined:
+            return
         idx = self._indices(frames)
         if np.any(self._refcount[idx] <= 0):
             raise ValueError(f"pool {self.name!r}: get() on unallocated frame")
@@ -144,6 +197,8 @@ class FrameAllocator:
 
         Returns the number of frames actually freed.
         """
+        if self.quarantined:
+            return 0
         idx = self._indices(frames)
         if np.any(self._refcount[idx] <= 0):
             raise ValueError(f"pool {self.name!r}: put() on unallocated frame")
@@ -166,6 +221,54 @@ class FrameAllocator:
             raise ValueError(f"frames outside pool {self.name!r}")
         return arr - self.base
 
+    # -- failure handling ----------------------------------------------------
+
+    def quarantine(self) -> None:
+        """Mark the pool dead: its node crashed, taking the memory with it.
+
+        Allocation fails from now on and refcount traffic (``get``/``put``)
+        becomes a no-op — survivors may still hold stale references to dead
+        frames during teardown, and those drops must not corrupt accounting.
+        Idempotent.
+        """
+        self.quarantined = True
+
+    # -- leak auditing -------------------------------------------------------
+
+    def snapshot_refcounts(self) -> dict[int, int]:
+        """Map of global frame number -> refcount for all allocated frames."""
+        live = np.nonzero(self._refcount[: self._bump] > 0)[0]
+        counts = self._refcount[live]
+        return {
+            int(frame) + self.base: int(count)
+            for frame, count in zip(live, counts)
+        }
+
+    def audit(self, expected: "Mapping[int, int]") -> LeakReport:
+        """Cross-check refcounts against an owner-derived expected model.
+
+        ``expected`` maps global frame numbers to the refcount implied by
+        walking every live owner (page tables, checkpoints, heaps, files,
+        pinned regions).  A quarantined pool reports clean: its frames died
+        with the node and are no longer part of the accounting.
+        """
+        report = LeakReport(pool=self.name)
+        if self.quarantined:
+            return report
+        actual = self.snapshot_refcounts()
+        for frame, count in actual.items():
+            want = expected.get(frame)
+            if want is None:
+                report.leaked.append(frame)
+            elif want != count:
+                report.mismatched[frame] = (count, int(want))
+        for frame in expected:
+            if frame not in actual and self.owns(frame):
+                report.missing.append(frame)
+        report.leaked.sort()
+        report.missing.sort()
+        return report
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"FrameAllocator(name={self.name!r}, base={self.base}, "
@@ -173,4 +276,4 @@ class FrameAllocator:
         )
 
 
-__all__ = ["FrameAllocator", "OutOfMemoryError"]
+__all__ = ["FrameAllocator", "LeakReport", "OutOfMemoryError"]

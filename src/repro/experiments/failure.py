@@ -15,9 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import make_pod, prepare_parent
+from repro.faults import FaultInjector
 from repro.os.kernel import NodeFailedError
 from repro.rfork.registry import get_mechanism
 from repro.sim.units import MS
+
+
+class ExperimentSetupError(RuntimeError):
+    """The failure scenario was not set up the way the experiment assumes."""
 
 
 @dataclass
@@ -30,7 +35,7 @@ class FailureRow:
     detail: str
 
 
-def run(function: str = "json") -> list:
+def run(function: str = "json", *, seed: int = 0) -> list:
     rows: list[FailureRow] = []
     for mech_name in ("cxlfork", "criu-cxl", "mitosis-cxl"):
         pod = make_pod()
@@ -38,8 +43,15 @@ def run(function: str = "json") -> list:
         mech = get_mechanism(mech_name, fabric=pod.fabric, cxlfs=pod.cxlfs)
         checkpoint, _ = mech.checkpoint(parent.instance.task)
 
-        killed = pod.source.fail()
-        assert killed >= 1  # the parent died with its node
+        injector = FaultInjector(seed=seed)
+        killed = injector.crash_now(pod.source)
+        if killed < 1:
+            # Assertions vanish under ``python -O``; a silently-empty
+            # crash would invalidate every row that follows.
+            raise ExperimentSetupError(
+                f"crashing {pod.source.name!r} killed {killed} processes; "
+                f"expected the {function!r} parent to die with its node"
+            )
 
         try:
             result = mech.restore(checkpoint, pod.target)

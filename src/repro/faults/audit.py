@@ -1,0 +1,200 @@
+"""Pod-wide frame-leak auditing.
+
+Builds the *expected* refcount of every frame by walking the live owners —
+task page tables, checkpoints, checkpoint heaps, in-CXL files, pinned
+fabric regions, per-node page caches — and cross-checks it against what
+the frame pools actually hold (:meth:`FrameAllocator.audit`).  A crash at
+any virtual-time point must leave this audit clean: that is the acceptance
+invariant of the failure sweep.
+
+Ownership rules mirror ``Kernel.exit_task`` exactly:
+
+* a present PTE with the CXL flag holds one reference on its CXL frame,
+  unless the task's checkpoint backing has ``holds_frame_refs=False``
+  (Mitosis children pull from the parent's shadow without refs);
+* a present PTE without the CXL flag holds one reference on its node's
+  DRAM frame;
+* a CXLfork checkpoint holds the allocation reference on its data frames
+  and its metadata heap's backing frames;
+* a Mitosis checkpoint holds the allocation reference on its shadow
+  frames in the *parent* node's DRAM;
+* CRIU checkpoints own nothing directly — their image files are owned by
+  the shared :class:`~repro.os.fs.cxlfs.CxlFileSystem`, which is walked
+  independently;
+* page caches hold one reference per cached page; pinned fabric regions
+  one per frame.
+
+Quarantined pools (dead nodes) report clean: their memory died with the
+node and stale references against them are no-ops by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.cxl.allocator import LeakReport
+from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cxl.fabric import CxlFabric
+    from repro.os.node import ComputeNode
+
+_PRESENT = np.int64(int(PteFlags.PRESENT))
+_CXL = np.int64(int(PteFlags.CXL))
+
+
+def _bump(expected: dict, frames: np.ndarray, by: int = 1) -> None:
+    for frame in frames:
+        key = int(frame)
+        expected[key] = expected.get(key, 0) + by
+
+
+def _task_frame_refs(task) -> tuple[np.ndarray, np.ndarray]:
+    """(cxl_frames, local_frames) referenced by one task's page table.
+
+    Returns the frames with multiplicity — a frame mapped twice contributes
+    twice — matching the references ``exit_task`` would drop.
+    """
+    cxl_chunks: list[np.ndarray] = []
+    local_chunks: list[np.ndarray] = []
+    for _, leaf in task.mm.pagetable.leaves():
+        present = (leaf.ptes & _PRESENT) != 0
+        if not np.any(present):
+            continue
+        frames = (leaf.ptes[present] >> np.int64(PTE_FRAME_SHIFT)).astype(np.int64)
+        if leaf.cxl_resident:
+            cxl_chunks.append(frames)
+            continue
+        on_cxl = (leaf.ptes[present] & _CXL) != 0
+        if np.any(on_cxl):
+            cxl_chunks.append(frames[on_cxl])
+        local = frames[~on_cxl]
+        if local.size:
+            local_chunks.append(local)
+    cxl = np.concatenate(cxl_chunks) if cxl_chunks else np.empty(0, dtype=np.int64)
+    local = (
+        np.concatenate(local_chunks) if local_chunks else np.empty(0, dtype=np.int64)
+    )
+    return cxl, local
+
+
+def expected_refcounts(
+    fabric: "CxlFabric",
+    nodes: Iterable["ComputeNode"],
+    *,
+    cxlfs=None,
+    checkpoints: Iterable = (),
+    ghost_pools: Iterable = (),
+) -> tuple[dict, dict]:
+    """Build the owner-derived refcount model.
+
+    Returns ``(cxl_expected, dram_expected)`` where ``cxl_expected`` maps
+    CXL frame -> count and ``dram_expected`` maps node name -> (frame ->
+    count) for that node's DRAM pool.
+    """
+    cxl: dict[int, int] = {}
+    dram: dict[str, dict[int, int]] = {n.name: {} for n in nodes}
+
+    # Pinned fabric regions (e.g. the porter object-store directory).
+    for frames in fabric._regions.values():
+        _bump(cxl, frames)
+
+    # In-CXL file system (CRIU images and anything else written there).
+    if cxlfs is not None:
+        for path in cxlfs.listdir():
+            _bump(cxl, cxlfs.stat(path).frames)
+
+    # Checkpoints (duck-typed across the three mechanisms).
+    for ckpt in checkpoints:
+        if getattr(ckpt, "_deleted", False):
+            continue
+        data_frames = getattr(ckpt, "data_frames", None)
+        if data_frames is not None and data_frames.size:
+            _bump(cxl, data_frames)
+        heap = getattr(ckpt, "heap", None)
+        if heap is not None and heap.backing_frames.size:
+            _bump(cxl, heap.backing_frames)
+        shadow = getattr(ckpt, "shadow_frames", None)
+        if shadow is not None and shadow.size:
+            parent = ckpt.parent_node
+            if not parent.failed:
+                _bump(dram.setdefault(parent.name, {}), shadow)
+
+    # Ghost-container pools reserve each ghost's bare 512 KB from its
+    # node's DRAM (porter deployments).
+    for pool in ghost_pools:
+        if pool.node.failed:
+            continue
+        pool_dram = dram.setdefault(pool.node.name, {})
+        for ghost in pool._all:
+            _bump(pool_dram, ghost.reserved_frames)
+
+    # Live tasks: page-table mappings, per-node page caches.
+    for node in nodes:
+        node_dram = dram.setdefault(node.name, {})
+        if node.failed:
+            continue  # quarantined pool; kernel has no tasks anyway
+        for cached, frames in node.pagecache._files.values():
+            live = frames[cached]
+            if live.size:
+                _bump(node_dram, live)
+        for task in node.kernel.tasks():
+            cxl_frames, local_frames = _task_frame_refs(task)
+            backing = task.mm.ckpt_backing
+            holds = backing is None or backing.holds_frame_refs
+            if cxl_frames.size and holds:
+                _bump(cxl, cxl_frames)
+            if local_frames.size:
+                _bump(node_dram, local_frames)
+    return cxl, dram
+
+
+@dataclass
+class PodAudit:
+    """Leak reports for the CXL pool and every node's DRAM pool."""
+
+    reports: list[LeakReport] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(r.clean for r in self.reports)
+
+    @property
+    def leaked_frames(self) -> int:
+        return sum(r.leaked_frames for r in self.reports)
+
+    def describe(self) -> str:
+        if self.clean:
+            return "audit clean: no leaked frames"
+        return "; ".join(r.describe() for r in self.reports if not r.clean)
+
+
+def audit_pod(
+    fabric: "CxlFabric",
+    nodes: Iterable["ComputeNode"],
+    *,
+    cxlfs=None,
+    checkpoints: Iterable = (),
+    ghost_pools: Iterable = (),
+) -> PodAudit:
+    """Cross-check every pool's refcounts against the live-owner model.
+
+    ``checkpoints`` must list every checkpoint the caller considers live
+    (not yet deleted); anything holding frames that is not enumerated here
+    shows up as a leak — which is the point.
+    """
+    nodes = list(nodes)
+    cxl_expected, dram_expected = expected_refcounts(
+        fabric, nodes, cxlfs=cxlfs, checkpoints=checkpoints, ghost_pools=ghost_pools
+    )
+    audit = PodAudit()
+    audit.reports.append(fabric.device.frames.audit(cxl_expected))
+    for node in nodes:
+        audit.reports.append(node.dram.audit(dram_expected.get(node.name, {})))
+    return audit
+
+
+__all__ = ["PodAudit", "audit_pod", "expected_refcounts"]

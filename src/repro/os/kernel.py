@@ -142,12 +142,21 @@ class Kernel:
     def tasks(self) -> list[Task]:
         return list(self._tasks.values())
 
+    def _check_alive(self) -> None:
+        """Raise :class:`NodeFailedError` if this kernel's node has crashed.
+
+        Every public entry point calls this — except :meth:`exit_task`,
+        which must keep working on a crashed node because ``node.fail()``
+        itself uses it and pod janitors tear down dead nodes' tasks.
+        """
+        if getattr(self.node, "failed", False):
+            raise NodeFailedError(f"node {self.node.name!r} has failed")
+
     # -- process lifecycle --------------------------------------------------------
 
     def spawn_task(self, comm: str, *, container=None) -> Task:
         """Create a fresh task (an execve'd process with an empty mm)."""
-        if getattr(self.node, "failed", False):
-            raise NodeFailedError(f"node {self.node.name!r} has failed")
+        self._check_alive()
         namespaces = container.namespaces if container is not None else None
         cgroup = container.cgroup if container is not None else None
         from repro.os.proc.namespaces import NamespaceSet
@@ -219,6 +228,7 @@ class Kernel:
         :class:`~repro.cxl.allocator.OutOfMemoryError` on limit breach,
         like the kernel's memcg charge path.
         """
+        self._check_alive()
         owner = task if task is not None else self._task_of(mm)
         if owner is not None and owner.cgroup is not None:
             if not owner.cgroup.charge(count * PAGE_SIZE):
@@ -259,6 +269,7 @@ class Kernel:
         for that is part of the function's measured init latency, so no
         fault costs are charged here.
         """
+        self._check_alive()
         vma = task.mm.add_vma(
             npages, VmaPerms.READ | VmaPerms.WRITE, kind=VmaKind.ANON, label=label
         )
@@ -278,6 +289,7 @@ class Kernel:
         populate: bool = True,
     ) -> Vma:
         """mmap a private file-backed region (library/runtime image)."""
+        self._check_alive()
         perms = VmaPerms.READ | (VmaPerms.WRITE if writable else VmaPerms.NONE)
         self.node.rootfs.ensure(path, size_bytes=npages * PAGE_SIZE)
         vma = task.mm.add_vma(
@@ -312,6 +324,7 @@ class Kernel:
         them first (the §4.2.1 lazy-copy path, reached from the OS API
         rather than a fault).
         """
+        self._check_alive()
         stats = FaultStats()
         mm = task.mm
         vma = mm.vmas.find(start_vpn)
@@ -369,6 +382,7 @@ class Kernel:
 
     def munmap(self, task: Task, vma: Vma) -> FaultStats:
         """Unmap a whole VMA, releasing its frames."""
+        self._check_alive()
         stats = FaultStats()
         mm = task.mm
         found = mm.vmas.find_leaf(vma.start_vpn)
@@ -440,8 +454,7 @@ class Kernel:
         *not* carried into the child, which repopulates them lazily from the
         page cache on first touch.
         """
-        if getattr(self.node, "failed", False):
-            raise NodeFailedError(f"node {self.node.name!r} has failed")
+        self._check_alive()
         if parent.state is TaskState.DEAD:
             raise RuntimeError(f"cannot fork dead task {parent.comm!r}")
         stats = FaultStats()
@@ -546,6 +559,7 @@ class Kernel:
         invocation engine samples working sets).  The range must lie within
         one VMA.  Returns the fault statistics; virtual time is advanced.
         """
+        self._check_alive()
         vma = task.mm.vmas.find(start_vpn)
         if vma is None or start_vpn + npages > vma.end_vpn:
             raise SegfaultError(
@@ -857,4 +871,10 @@ class Kernel:
             stats.add(FaultKind.CXL_MAP, count, self.fault_cost(FaultKind.CXL_MAP))
 
 
-__all__ = ["Kernel", "FaultStats", "CheckpointBacking", "SegfaultError"]
+__all__ = [
+    "Kernel",
+    "FaultStats",
+    "CheckpointBacking",
+    "NodeFailedError",
+    "SegfaultError",
+]

@@ -59,6 +59,16 @@ class ComputeNode:
         self.pagecache = PageCache(self.dram)
         self.kernel = Kernel(self)
         self.failed = False
+        #: Gray-failure state: >1.0 multiplies the node's operation costs
+        #: (a slow node that still answers), set by repro.faults.
+        self.slow_factor = 1.0
+        #: Set by a failure detector that saw missed heartbeats but has not
+        #: yet declared the node dead; schedulers avoid suspected nodes.
+        self.suspected = False
+        #: Callbacks run by :meth:`fail` after local teardown — the pod
+        #: janitor and the porter detector register here to reclaim shared
+        #: state owned by the dead node.
+        self.crash_hooks: list = []
         # Direct reclaim: allocation pressure first asks registered
         # application victims, then drops page cache (repro.os.mm.reclaim).
         from repro.os.mm.reclaim import MemoryReclaimer
@@ -77,9 +87,16 @@ class ComputeNode:
         References the node's processes held on *shared CXL frames* are
         released (a pod-level janitor reclaims a dead node's shares, as in
         partial-failure-resilient CXL memory managers), so checkpoints and
-        siblings on other nodes are unaffected.  Returns the number of
-        processes killed.  State checkpointed *into this node's DRAM*
-        (e.g. Mitosis shadows) is lost with it.
+        siblings on other nodes are unaffected.  The node's DRAM pool is
+        quarantined — its frames died with the node, and any stale
+        references survivors still hold become no-ops.  State checkpointed
+        *into this node's DRAM* (e.g. Mitosis shadows) is lost with it.
+
+        Idempotent by contract: the first call returns the number of
+        processes killed (possibly 0 on an idle node) and performs teardown;
+        every later call returns 0 and does nothing.  Callers distinguish
+        "I crashed it" from "it was already dead" via ``self.failed`` before
+        the call, not via the return value.
         """
         if self.failed:
             return 0
@@ -88,7 +105,18 @@ class ComputeNode:
             self.kernel.exit_task(task)
             killed += 1
         self.failed = True
+        # Local memory dies with the node.  Quarantine *after* task exits so
+        # their CXL reference drops (which matter pod-wide) happen normally.
+        self.dram.quarantine()
         self.log.emit(self.clock.now, "node_failed", node=self.name)
+        TRACE.count("node.failures")
+        if TRACE.enabled:
+            TRACE.add_span(
+                "node.fail", self.clock.now, 0, clock=self.clock,
+                node=self.name, killed=killed,
+            )
+        for hook in list(self.crash_hooks):
+            hook(self)
         return killed
 
     # -- memory accounting ------------------------------------------------------

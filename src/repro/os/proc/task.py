@@ -78,6 +78,11 @@ class Task:
         self.state = TaskState.STOPPED
 
     def thaw(self) -> None:
+        if self.state is TaskState.DEAD:
+            # The node crashed while the task was frozen (mid-checkpoint
+            # fault injection): node.fail() already tore it down.  Thawing
+            # a corpse is a no-op so cleanup paths don't mask the crash.
+            return
         if self.state is not TaskState.STOPPED:
             raise RuntimeError(f"cannot thaw task in state {self.state}")
         self.state = TaskState.RUNNING

@@ -8,21 +8,24 @@ pressure.
 """
 
 from repro.porter.autoscaler import CxlPorter, PorterConfig
+from repro.porter.failure_detector import HeartbeatDetector
 from repro.porter.ghostpool import GhostContainerPool
 from repro.porter.keepalive import KeepAlivePolicy
 from repro.porter.metrics import LatencyRecorder
 from repro.porter.objectstore import CheckpointObjectStore, StoredCheckpoint
-from repro.porter.scheduler import ClusterScheduler
+from repro.porter.scheduler import ClusterExhaustedError, ClusterScheduler
 from repro.porter.tiering_controller import TieringController
 
 __all__ = [
     "CxlPorter",
     "PorterConfig",
+    "HeartbeatDetector",
     "GhostContainerPool",
     "KeepAlivePolicy",
     "LatencyRecorder",
     "CheckpointObjectStore",
     "StoredCheckpoint",
+    "ClusterExhaustedError",
     "ClusterScheduler",
     "TieringController",
 ]

@@ -27,15 +27,20 @@ from repro.cxl.allocator import OutOfMemoryError
 from repro.faas.container import ContainerFactory
 from repro.faas.traces import Request
 from repro.faas.workload import FunctionInstance, FunctionWorkload
+from repro.faults.recovery import RetryPolicy
+from repro.os.kernel import NodeFailedError
 from repro.os.node import ComputeNode
+from repro.os.proc.task import TaskState
+from repro.porter.failure_detector import HeartbeatDetector
 from repro.porter.ghostpool import GhostContainerPool
 from repro.porter.keepalive import KeepAlivePolicy
 from repro.porter.metrics import LatencyRecorder
 from repro.porter.objectstore import LOOKUP_NS, CheckpointObjectStore
-from repro.porter.scheduler import ClusterScheduler
+from repro.porter.scheduler import ClusterExhaustedError, ClusterScheduler
 from repro.porter.tiering_controller import TieringController
 from repro.rfork.registry import get_mechanism
 from repro.sim.events import EventQueue
+from repro.sim.rng import SeedSequenceFactory
 from repro.sim.units import MS, SEC
 from repro.telemetry import TRACE
 from repro.tiering.hotness import reset_access_bits
@@ -73,8 +78,26 @@ class PorterConfig:
     keepalive: KeepAlivePolicy = field(default_factory=KeepAlivePolicy)
     #: Concurrent executions per node (None = the node's CPU count).
     cpu_slots_per_node: Optional[int] = None
-    #: Back-off before retrying a start that could not get memory.
+    #: Base back-off before retrying a start that could not get memory.
+    #: Retries grow exponentially from here (capped, jittered) — see
+    #: :class:`repro.faults.recovery.RetryPolicy`.
     memory_retry_ns: int = int(10 * MS)
+    #: Cap on the exponential memory-retry back-off.
+    memory_retry_cap_ns: int = int(160 * MS)
+    #: Give up on a request after this many memory retries (recorded as
+    #: a ``failed`` start kind so trace replay still terminates).
+    max_memory_retries: int = 8
+    #: Relative jitter band on retry delays (deterministic, from sim.rng).
+    memory_retry_jitter: float = 0.25
+    #: Seed for the deployment's private RNG streams (retry jitter).
+    seed: int = 0
+    #: Run the heartbeat failure detector (off by default: fault-free
+    #: experiments keep their exact event schedules).
+    failure_detection: bool = False
+    #: Heartbeat poll interval.
+    heartbeat_interval_ns: int = int(500 * MS)
+    #: Consecutive missed heartbeats before a node is declared dead.
+    heartbeat_miss_threshold: int = 3
     #: Controller tick (SLO evaluation + periodic A-bit refresh).
     controller_tick_ns: int = int(1 * SEC)
     #: Refresh checkpointed A bits every this many ticks.
@@ -121,6 +144,7 @@ class CxlPorter:
     ) -> None:
         self.nodes = list(nodes)
         self.fabric = fabric
+        self.cxlfs = cxlfs
         self.config = config or PorterConfig()
         self.queue = EventQueue()
         self.store = CheckpointObjectStore(fabric)
@@ -163,6 +187,27 @@ class CxlPorter:
             )
         self._tick_count = 0
         self._retries = 0
+        self.retry_policy = RetryPolicy(
+            base_ns=self.config.memory_retry_ns,
+            cap_ns=self.config.memory_retry_cap_ns,
+            max_attempts=self.config.max_memory_retries,
+            jitter=self.config.memory_retry_jitter,
+        )
+        self._retry_rng = SeedSequenceFactory(self.config.seed).stream(
+            "porter-retry"
+        )
+        #: id(request) -> memory retries so far (entries appear on the
+        #: first retry and are popped on completion or drop).
+        self._retry_attempts: dict[int, int] = {}
+        self.detector: Optional[HeartbeatDetector] = None
+        if self.config.failure_detection:
+            self.detector = HeartbeatDetector(
+                self.nodes,
+                self.queue,
+                interval_ns=self.config.heartbeat_interval_ns,
+                miss_threshold=self.config.heartbeat_miss_threshold,
+                on_dead=self._handle_node_failure,
+            )
         for node in self.nodes:
             # The node's reclaimer asks us first (idle-instance eviction),
             # then falls back to dropping page cache on its own.
@@ -246,26 +291,40 @@ class CxlPorter:
         node = self.scheduler.pick_warm(request.function, self._has_idle)
         if node is not None:
             record = self._take_idle(node, request.function)
-            self._node_submit(node, lambda: self._execute_warm(record, request))
+            self._node_submit(
+                node, lambda: self._execute_warm(record, request), request=request
+            )
             return
         entry = self.store.query(
             self.config.user, request.function, now=self.queue.now
         )
-        node = self.scheduler.pick_for_start(lambda n: n._porter_running)
+        try:
+            node = self.scheduler.pick_for_start(lambda n: n._porter_running)
+        except ClusterExhaustedError:
+            self._drop(request, reason="cluster_exhausted")
+            return
         if entry is not None:
             self._node_submit(
-                node, lambda: self._execute_restore(node, entry, request)
+                node,
+                lambda: self._execute_restore(node, entry, request),
+                request=request,
             )
         else:
-            self._node_submit(node, lambda: self._execute_cold(node, request))
+            self._node_submit(
+                node, lambda: self._execute_cold(node, request), request=request
+            )
 
     # -- node execution machinery ----------------------------------------------------
 
-    def _node_submit(self, node: ComputeNode, work: Callable) -> None:
+    def _node_submit(
+        self, node: ComputeNode, work: Callable, *, request: Optional[Request] = None
+    ) -> None:
         if node._porter_running < self._slots[node.name]:
             self._start_work(node, work)
         else:
-            self._fifo[node.name].append(work)
+            # The request rides along so work still queued when the node
+            # dies can be re-placed on a survivor.
+            self._fifo[node.name].append((work, request))
 
     def _start_work(self, node: ComputeNode, work: Callable) -> None:
         node._porter_running += 1
@@ -282,7 +341,8 @@ class CxlPorter:
         on_done()
         fifo = self._fifo[node.name]
         while fifo and node._porter_running < self._slots[node.name]:
-            self._start_work(node, fifo.popleft())
+            work, _ = fifo.popleft()
+            self._start_work(node, work)
 
     def _measure(self, node: ComputeNode, fn: Callable) -> tuple:
         """Run ``fn`` against the node, returning (duration_ns, result)."""
@@ -303,7 +363,10 @@ class CxlPorter:
                 try:
                     state.workload.invoke(record.instance)
                     return True
-                except OutOfMemoryError:
+                except (OutOfMemoryError, NodeFailedError):
+                    # OOM: even direct reclaim could not feed it.  Node
+                    # failure: a crash alarm fired mid-invocation and the
+                    # instance died with the node.
                     return False
 
         duration, ok = self._measure(record.node, do)
@@ -327,41 +390,51 @@ class CxlPorter:
                 "porter.restore_start", clock=node.clock,
                 function=request.function, mechanism=self.mechanism.name,
             ):
-                node.clock.advance(LOOKUP_NS)
                 container = None
-                if self.mechanism.supports_ghost_containers:
-                    ghost = self.ghostpools[node.name].acquire(request.function)
-                    if ghost is not None:
-                        node.clock.advance(ghost.trigger())
-                        container = ghost
-                if container is None:
-                    container = self.factories[node.name].create(
-                        request.function, charge=True
-                    )
-                policy = None
-                if self.mechanism.name == "cxlfork":
-                    policy = self.controller.policy_for(request.function, node)
                 try:
-                    result = self.mechanism.restore(
-                        entry.checkpoint, node, container=container, policy=policy
+                    node.clock.advance(LOOKUP_NS)
+                    if self.mechanism.supports_ghost_containers:
+                        ghost = self.ghostpools[node.name].acquire(request.function)
+                        if ghost is not None:
+                            node.clock.advance(ghost.trigger())
+                            container = ghost
+                    if container is None:
+                        container = self.factories[node.name].create(
+                            request.function, charge=True
+                        )
+                    policy = None
+                    if self.mechanism.name == "cxlfork":
+                        policy = self.controller.policy_for(request.function, node)
+                    try:
+                        result = self.mechanism.restore(
+                            entry.checkpoint, node, container=container, policy=policy
+                        )
+                    except OutOfMemoryError:
+                        self._release_container(node, container)
+                        return None
+                    instance = state.workload.instance_from_plan(
+                        entry.plan, result.task
                     )
-                except OutOfMemoryError:
+                    record = InstanceRecord(
+                        instance=instance,
+                        node=node,
+                        container=container,
+                        function=request.function,
+                        busy=True,
+                    )
+                    try:
+                        state.workload.invoke(instance)
+                    except OutOfMemoryError:
+                        self._teardown(record)
+                        return None
+                    return record
+                except NodeFailedError:
+                    # Either this node crashed mid-start (alarms fire while
+                    # its clock advances; partial state died with it) or
+                    # the checkpoint's parent node is gone (Mitosis).  The
+                    # retry path re-places or degrades to a cold start.
                     self._release_container(node, container)
                     return None
-                instance = state.workload.instance_from_plan(entry.plan, result.task)
-                record = InstanceRecord(
-                    instance=instance,
-                    node=node,
-                    container=container,
-                    function=request.function,
-                    busy=True,
-                )
-                try:
-                    state.workload.invoke(instance)
-                except OutOfMemoryError:
-                    self._teardown(record)
-                    return None
-                return record
 
         duration, record = self._measure(node, do)
         if record is None:
@@ -380,11 +453,12 @@ class CxlPorter:
             with TRACE.span(
                 "porter.cold_start", clock=node.clock, function=request.function
             ):
-                container = self.factories[node.name].create(
-                    request.function, charge=True
-                )
+                container = None
                 instance = None
                 try:
+                    container = self.factories[node.name].create(
+                        request.function, charge=True
+                    )
                     instance = state.workload.build_instance(node, container=container)
                     record = InstanceRecord(
                         instance=instance,
@@ -394,10 +468,14 @@ class CxlPorter:
                         busy=True,
                     )
                     state.workload.invoke(instance)
-                except OutOfMemoryError:
-                    if instance is not None:
+                except (OutOfMemoryError, NodeFailedError):
+                    if (
+                        instance is not None
+                        and not node.failed
+                        and instance.task.state is not TaskState.DEAD
+                    ):
                         node.kernel.exit_task(instance.task)
-                    container.destroy()
+                    self._release_container(node, container)
                     return None
                 return record
 
@@ -411,21 +489,69 @@ class CxlPorter:
         return duration, on_done
 
     def _retry_later(self, node: ComputeNode, request: Request, wasted_ns: float):
-        """Could not get memory: free what we can and try again shortly."""
+        """A start attempt failed: decide between re-place, retry, drop.
+
+        * The target node died: re-place immediately on a survivor — a
+          dead node never comes back, so backing off against it is wasted
+          virtual time and the retry budget stays untouched.
+        * Out of memory: retry with capped exponential backoff plus
+          deterministic jitter; after ``max_memory_retries`` attempts the
+          request is dropped (recorded as a ``failed`` start).
+        """
+        if node.failed:
+            TRACE.count("porter.replaced_requests")
+
+            def on_done():
+                self._resubmit(request)
+
+            return max(wasted_ns, 1), on_done
+
+        attempts = self._retry_attempts.get(id(request), 0)
+        if attempts >= self.retry_policy.max_attempts:
+            def on_done():
+                self._drop(request, reason="retries_exhausted")
+
+            return max(wasted_ns, 1), on_done
+
+        self._retry_attempts[id(request)] = attempts + 1
         self._retries += 1
         TRACE.count("porter.memory_retries")
+        delay_ns = self.retry_policy.delay_ns(attempts, rng=self._retry_rng)
 
         def on_done():
             self.queue.schedule_after(
-                self.config.memory_retry_ns, lambda: self.submit(request)
+                delay_ns, lambda: self._resubmit(request), label="memory-retry"
             )
 
         return max(wasted_ns, 1), on_done
 
+    def _resubmit(self, request: Request) -> None:
+        """Re-enter the request path (the scheduler re-picks a live node)."""
+        try:
+            self.submit(request)
+        except ClusterExhaustedError:  # pragma: no cover - submit drops first
+            self._drop(request, reason="cluster_exhausted")
+
+    def _drop(self, request: Request, *, reason: str) -> None:
+        """Give up on a request, keeping the trace-replay accounting sound."""
+        self._retry_attempts.pop(id(request), None)
+        self.metrics.record(
+            request.function, self.queue.now - request.when, kind="failed"
+        )
+        TRACE.count("porter.requests_failed")
+        TRACE.count(f"porter.requests_failed.{reason}")
+
     # -- completion & lifecycle -------------------------------------------------------------
 
     def _complete(self, record: InstanceRecord, request: Request, *, kind: str) -> None:
+        if record.node.failed:
+            # The node died between dispatch and completion; the work was
+            # lost with it.  Re-place the request on a survivor.
+            TRACE.count("porter.replaced_requests")
+            self._resubmit(request)
+            return
         state = self._functions[request.function]
+        self._retry_attempts.pop(id(request), None)
         now = self.queue.now
         latency = now - request.when
         self.metrics.record(request.function, latency, kind=kind)
@@ -515,16 +641,131 @@ class CxlPorter:
     def _teardown(self, record: InstanceRecord) -> None:
         if record.is_template:
             return  # Mitosis parents stay until the checkpoint is evicted
+        if record.node.failed or record.instance.task.state is TaskState.DEAD:
+            return  # node.fail() already tore the task down with the node
         record.node.kernel.exit_task(record.instance.task)
         self._release_container(record.node, record.container)
 
     def _release_container(self, node: ComputeNode, container) -> None:
-        if container is None:
+        if container is None or node.failed:
+            # A dead node's containers (and their memory charge) died
+            # with its quarantined DRAM pool.
             return
         if getattr(container, "is_ghost", False):
             self.ghostpools[node.name].release(container)
         else:
             container.destroy()
+
+    # -- failover ---------------------------------------------------------------------------
+
+    def _handle_node_failure(self, node: ComputeNode) -> None:
+        """Detector callback: a node was declared dead.
+
+        Re-places everything the dead node owed the control plane:
+        pending FIFO work is resubmitted through the scheduler, orphaned
+        keep-alive instances are re-warmed from the object store onto
+        survivors, and checkpoints coupled to the dead node (Mitosis
+        templates) are invalidated so their functions re-checkpoint.
+        """
+        TRACE.count("porter.failovers")
+        name = node.name
+
+        # Checkpoints whose state died with the node are unusable.
+        for entry in self.store.entries():
+            parent = getattr(entry.checkpoint, "parent_node", None)
+            if parent is node:
+                self.store.evict(entry.cid)
+                state = self._functions.get(entry.function)
+                if state is not None:
+                    state.checkpointed = False
+                TRACE.count("porter.ckpts_lost_to_crash")
+
+        # Orphaned keep-alive instances: their tasks died with the node;
+        # cancel expiries and re-warm replacements on survivors.
+        orphans = self._idle[name]
+        self._idle[name] = {}
+        for function, pool in orphans.items():
+            for record in pool:
+                if record.expiry_event is not None:
+                    self.queue.cancel(record.expiry_event)
+                    record.expiry_event = None
+                self._replace_orphan(function)
+
+        # Pending FIFO work: the closures are bound to the dead node;
+        # re-place the underlying requests via the scheduler.
+        pending = self._fifo[name]
+        self._fifo[name] = deque()
+        node._porter_running = 0
+        for _, request in pending:
+            if request is not None:
+                TRACE.count("porter.replaced_requests")
+                self._resubmit(request)
+
+    def _replace_orphan(self, function: str) -> None:
+        """Re-warm one keep-alive instance lost to a crash on a survivor."""
+        entry = self.store.query(self.config.user, function, now=self.queue.now)
+        if entry is None:
+            return  # no checkpoint to restore from; demand will cold-start
+        try:
+            survivor = self.scheduler.pick_for_start(lambda n: n._porter_running)
+        except ClusterExhaustedError:
+            return
+        TRACE.count("porter.orphans_replaced")
+        self._node_submit(
+            survivor, lambda: self._execute_rewarm(survivor, entry, function)
+        )
+
+    def _execute_rewarm(self, node: ComputeNode, entry, function: str):
+        """Restore an instance purely to repopulate a warm pool (no request)."""
+        state = self._functions[function]
+        self._ensure_capacity(node, self._estimate_bytes(function))
+
+        def do() -> Optional[InstanceRecord]:
+            with TRACE.span(
+                "porter.rewarm", clock=node.clock, function=function
+            ):
+                container = None
+                try:
+                    if self.mechanism.supports_ghost_containers:
+                        ghost = self.ghostpools[node.name].acquire(function)
+                        if ghost is not None:
+                            node.clock.advance(ghost.trigger())
+                            container = ghost
+                    if container is None:
+                        container = self.factories[node.name].create(
+                            function, charge=True
+                        )
+                    policy = None
+                    if self.mechanism.name == "cxlfork":
+                        policy = self.controller.policy_for(function, node)
+                    result = self.mechanism.restore(
+                        entry.checkpoint, node, container=container, policy=policy
+                    )
+                    instance = state.workload.instance_from_plan(
+                        entry.plan, result.task
+                    )
+                    return InstanceRecord(
+                        instance=instance,
+                        node=node,
+                        container=container,
+                        function=function,
+                        busy=True,
+                    )
+                except (OutOfMemoryError, NodeFailedError):
+                    # Best-effort: demand will restore or cold-start later.
+                    self._release_container(node, container)
+                    return None
+
+        duration, record = self._measure(node, do)
+        if record is None:
+            return max(duration, 1), lambda: None
+
+        def on_done():
+            if record.node.failed:
+                return  # the survivor died too before the re-warm landed
+            self._make_idle(record)
+
+        return duration, on_done
 
     # -- memory management -----------------------------------------------------------------
 
@@ -571,6 +812,23 @@ class CxlPorter:
             self._teardown(record)
         return node.dram_free_bytes >= need_bytes
 
+    def audit_leaks(self):
+        """Cross-check every pool's refcounts against this deployment's
+        live owners (tasks, checkpoints, ghost pools, page caches).
+
+        Returns a :class:`repro.faults.audit.PodAudit`; ``.clean`` must
+        hold at any quiescent point, crashes included.
+        """
+        from repro.faults.audit import audit_pod
+
+        return audit_pod(
+            self.fabric,
+            self.nodes,
+            cxlfs=self.cxlfs or getattr(self.mechanism, "cxlfs", None),
+            checkpoints=[e.checkpoint for e in self.store.entries()],
+            ghost_pools=self.ghostpools.values(),
+        )
+
     # -- the control loop ---------------------------------------------------------------------
 
     def _controller_tick(self) -> None:
@@ -586,6 +844,8 @@ class CxlPorter:
                 request.when, lambda r=request: self.submit(r), label="arrival"
             )
         self.queue.schedule_after(self.config.controller_tick_ns, self._controller_tick)
+        if self.detector is not None:
+            self.detector.start()
         horizon = until
         if horizon is None:
             horizon = (max(r.when for r in requests) if requests else 0) + 120 * SEC

@@ -1,0 +1,131 @@
+"""Heartbeat-based failure detection for CXLporter.
+
+The control plane cannot observe a node crash directly — it learns about
+it the way real clusters do, by missing heartbeats.  Every ``interval_ns``
+the detector polls each node on the event queue; a failed node misses its
+heartbeat, and after ``miss_threshold`` consecutive misses the detector
+declares it dead and fires ``on_dead`` so the autoscaler can re-place the
+node's pending requests and orphaned keep-alive instances on survivors.
+Detection latency is therefore ``miss_threshold * interval_ns`` — crash
+recovery in the failure sweep includes it, as §3.1's argument is about
+what survives, not about instant detection.
+
+Gray failures are handled separately: a node that still answers
+heartbeats but has been slowed (``node.slow_factor``) beyond
+``suspect_slow_factor`` is marked *suspected*.  The scheduler steers new
+starts away from suspected nodes but their warm instances stay usable —
+evicting a slow-but-alive node outright would turn a gray failure into a
+real one.
+
+Detector ticks run at event-queue priority 1 so that a controller tick
+scheduled for the same instant keeps dispatching first; enabling the
+detector must not reorder the existing control loop's events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.os.node import ComputeNode
+from repro.sim.events import EventQueue
+from repro.sim.units import MS
+from repro.telemetry import TRACE
+
+
+class HeartbeatDetector:
+    """Declares nodes dead after consecutive missed heartbeats."""
+
+    def __init__(
+        self,
+        nodes: list,
+        queue: EventQueue,
+        *,
+        interval_ns: int = int(500 * MS),
+        miss_threshold: int = 3,
+        suspect_slow_factor: float = 4.0,
+        on_dead: Optional[Callable[[ComputeNode], None]] = None,
+    ) -> None:
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        self.nodes = list(nodes)
+        self.queue = queue
+        self.interval_ns = int(interval_ns)
+        self.miss_threshold = miss_threshold
+        self.suspect_slow_factor = suspect_slow_factor
+        self.on_dead = on_dead
+        self.misses: dict[str, int] = {n.name: 0 for n in self.nodes}
+        #: Names of nodes this detector has declared dead, with the
+        #: queue time of the declaration (recovery-latency bookkeeping).
+        self.declared_dead: dict[str, int] = {}
+        self._running = False
+        self._tick_event = None
+
+    @property
+    def detection_latency_ns(self) -> int:
+        """Worst-case time from crash to declaration."""
+        return self.interval_ns * self.miss_threshold
+
+    def start(self) -> None:
+        """Begin heartbeating (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        """Stop heartbeating; a pending tick is cancelled."""
+        self._running = False
+        if self._tick_event is not None:
+            self.queue.cancel(self._tick_event)
+            self._tick_event = None
+
+    def _schedule_tick(self) -> None:
+        self._tick_event = self.queue.schedule_after(
+            self.interval_ns, self._tick, priority=1, label="heartbeat"
+        )
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        for node in self.nodes:
+            if node.name in self.declared_dead:
+                continue
+            if getattr(node, "failed", False):
+                self.misses[node.name] += 1
+                TRACE.count("porter.heartbeat_misses")
+                if self.misses[node.name] >= self.miss_threshold:
+                    self._declare_dead(node)
+                continue
+            self.misses[node.name] = 0
+            suspected = (
+                getattr(node, "slow_factor", 1.0) >= self.suspect_slow_factor
+            )
+            if suspected != node.suspected:
+                node.suspected = suspected
+                TRACE.count(
+                    "porter.nodes_suspected"
+                    if suspected
+                    else "porter.nodes_unsuspected"
+                )
+                node.log.emit(
+                    self.queue.now,
+                    "node_suspected" if suspected else "node_cleared",
+                    node=node.name,
+                    slow_factor=node.slow_factor,
+                )
+        if self._running:
+            self._schedule_tick()
+
+    def _declare_dead(self, node: ComputeNode) -> None:
+        self.declared_dead[node.name] = self.queue.now
+        TRACE.count("porter.nodes_declared_dead")
+        node.log.emit(
+            self.queue.now,
+            "node_declared_dead",
+            node=node.name,
+            misses=self.misses[node.name],
+        )
+        if self.on_dead is not None:
+            self.on_dead(node)
+
+
+__all__ = ["HeartbeatDetector"]

@@ -8,6 +8,10 @@ from typing import Callable
 from repro.os.node import ComputeNode
 
 
+class ClusterExhaustedError(RuntimeError):
+    """Every node in the cluster has failed; nothing can be placed."""
+
+
 @dataclass
 class ClusterScheduler:
     """Places requests on nodes.
@@ -16,13 +20,20 @@ class ClusterScheduler:
     1. a node with an idle warm instance of the function (no start cost);
     2. otherwise, for a restore/cold start, the node with the most free
        memory that is not overloaded on CPU (least-loaded tiebreak).
+
+    Failed nodes are never candidates.  *Suspected* nodes (gray failures
+    flagged by the heartbeat detector) are avoided for new starts but keep
+    serving their existing warm instances; if every live node is
+    suspected, degraded placement beats dropping the request.
     """
 
     nodes: list
 
     def pick_warm(self, function: str, has_idle: Callable[[ComputeNode, str], bool]):
-        """The least-loaded node holding an idle instance, or None."""
-        candidates = [n for n in self.nodes if has_idle(n, function)]
+        """The least-loaded live node holding an idle instance, or None."""
+        candidates = [
+            n for n in self.nodes if not n.failed and has_idle(n, function)
+        ]
         if not candidates:
             return None
         return min(candidates, key=lambda n: self._cpu_load(n))
@@ -31,14 +42,21 @@ class ClusterScheduler:
         self, running: Callable[[ComputeNode], int]
     ) -> ComputeNode:
         """Node for a new instance: most free memory, CPU as tiebreak."""
+        candidates = [
+            n for n in self.nodes if not n.failed and not n.suspected
+        ]
+        if not candidates:
+            candidates = [n for n in self.nodes if not n.failed]
+        if not candidates:
+            raise ClusterExhaustedError("every node in the cluster has failed")
 
         def key(node: ComputeNode):
             return (-node.dram_free_bytes, running(node))
 
-        return min(self.nodes, key=key)
+        return min(candidates, key=key)
 
     def _cpu_load(self, node: ComputeNode) -> int:
         return getattr(node, "_porter_running", 0)
 
 
-__all__ = ["ClusterScheduler"]
+__all__ = ["ClusterScheduler", "ClusterExhaustedError"]

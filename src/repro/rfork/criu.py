@@ -23,7 +23,7 @@ from repro.os.mm.pte import PteFlags
 from repro.os.mm.vma import VmaKind
 from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
-from repro.os.proc.task import Task
+from repro.os.proc.task import Task, TaskState
 from repro.rfork.base import (
     FD_REOPEN_NS,
     MMAP_SYSCALL_NS,
@@ -116,6 +116,7 @@ class CriuCxl(RemoteForkMechanism):
         if span.recording:
             metrics.span = span
         task.freeze()
+        ckpt: Optional[CriuCheckpoint] = None
         try:
             CriuCxl._image_counter += 1
             ckpt = CriuCheckpoint(
@@ -160,12 +161,15 @@ class CriuCxl(RemoteForkMechanism):
             )
             metrics.serialized_bytes = ckpt.metadata_bytes + data_bytes
             metrics.cxl_bytes = ckpt.cxl_bytes
+            # Part of the operation: crash alarms in the window fire here.
+            node.clock.advance(metrics.latency_ns)
         except BaseException:
             span.finish()  # failed checkpoints must not leave the span open
+            if ckpt is not None:
+                ckpt.delete()  # unlink whatever image files were written
             raise
         finally:
             task.thaw()
-        node.clock.advance(metrics.latency_ns)
         span.set(pages=ckpt.dumped_pages, cxl_bytes=ckpt.cxl_bytes)
         span.finish()
         node.log.emit(node.clock.now, "criu_checkpoint", comm=task.comm,
@@ -221,7 +225,10 @@ class CriuCxl(RemoteForkMechanism):
             return result
         except BaseException:
             span.finish()
-            kernel.exit_task(task)  # failed restores must not leak frames
+            # Failed restores must not leak frames; a mid-restore node
+            # crash already tore the task down via node.fail().
+            if task.state is not TaskState.DEAD:
+                kernel.exit_task(task)
             raise
 
     def _restore_into(self, task, checkpoint, node, metrics) -> RestoreResult:

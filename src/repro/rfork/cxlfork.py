@@ -28,7 +28,7 @@ from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags
 from repro.os.mm.vma import VmaLeaf
 from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
-from repro.os.proc.task import Task
+from repro.os.proc.task import Task, TaskState
 from repro.rfork.base import (
     FD_REOPEN_NS,
     NS_RESTORE_NS,
@@ -177,6 +177,8 @@ class CxlFork(RemoteForkMechanism):
         if span.recording:
             metrics.span = span
         task.freeze()
+        ckpt: Optional[CxlForkCheckpoint] = None
+        frame_chunks: list[np.ndarray] = []
         try:
             ckpt = CxlForkCheckpoint(task.comm, fabric, CxlHeap(fabric, f"ckpt:{task.comm}"))
             ckpt.source_node = node.name
@@ -190,7 +192,6 @@ class CxlFork(RemoteForkMechanism):
                 skip_vpns = CriuCxl._file_clean_pages(task)
 
             # 1. Copy data pages to CXL and build the rebased page table.
-            frame_chunks: list[np.ndarray] = []
             total_present = 0
             for leaf_index, leaf in task.mm.pagetable.leaves():
                 present = (leaf.ptes & np.int64(int(PteFlags.PRESENT))) != 0
@@ -288,12 +289,23 @@ class CxlFork(RemoteForkMechanism):
             ckpt.verify_detached()
 
             metrics.cxl_bytes = ckpt.cxl_bytes
+            # Advancing the clock is part of the operation: a crash alarm
+            # armed inside the checkpoint window fires here, aborting us.
+            node.clock.advance(metrics.latency_ns)
         except BaseException:
             span.finish()  # failed checkpoints must not leave the span open
+            # Crash consistency: an aborted checkpoint must leak nothing.
+            # The frame chunk list (not ckpt.data_frames, which is only set
+            # once all chunks are collected) covers partial allocations.
+            if frame_chunks:
+                fabric.put_frames(np.concatenate(frame_chunks))
+            if ckpt is not None:
+                ckpt.data_frames = np.empty(0, dtype=np.int64)
+                ckpt._deleted = True
+                ckpt.heap.release()
             raise
         finally:
             task.thaw()
-        node.clock.advance(metrics.latency_ns)
         span.set(pages=ckpt.present_pages, cxl_bytes=ckpt.cxl_bytes)
         span.finish()
         node.log.emit(node.clock.now, "cxlfork_checkpoint", comm=task.comm,
@@ -331,9 +343,11 @@ class CxlFork(RemoteForkMechanism):
             return result
         except BaseException:
             # Unwind a partially built clone (e.g. OOM during prefetch) so
-            # failed restores never leak frames.
+            # failed restores never leak frames.  If the node crashed
+            # mid-restore, node.fail() already tore the task down.
             span.finish()
-            kernel.exit_task(task)
+            if task.state is not TaskState.DEAD:
+                kernel.exit_task(task)
             raise
 
     def _restore_into(self, task, checkpoint, node, policy, metrics) -> RestoreResult:

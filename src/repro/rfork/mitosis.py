@@ -26,7 +26,7 @@ from repro.os.mm.pagetable import PTES_PER_LEAF, PageTable, PteLeaf
 from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags
 from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
-from repro.os.proc.task import Task
+from repro.os.proc.task import Task, TaskState
 from repro.rfork.base import (
     FD_REOPEN_NS,
     MMAP_SYSCALL_NS,
@@ -112,9 +112,10 @@ class MitosisCxl(RemoteForkMechanism):
         latency = node.fabric.latency
         metrics = CheckpointMetrics()
         task.freeze()
+        ckpt: Optional[MitosisCheckpoint] = None
+        frame_chunks: list[np.ndarray] = []
         try:
             ckpt = MitosisCheckpoint(task.comm, node)
-            frame_chunks: list[np.ndarray] = []
             total_present = 0
             preserve = np.int64(
                 int(PteFlags.ACCESSED) | int(PteFlags.DIRTY) | int(PteFlags.HOT)
@@ -157,9 +158,20 @@ class MitosisCxl(RemoteForkMechanism):
             ckpt.os_state_bytes = len(blob)
             metrics.note("serialize_os_state", encode_ns)
             metrics.serialized_bytes = len(blob)
+            # Part of the operation: crash alarms in the window fire here.
+            node.clock.advance(metrics.latency_ns)
+        except BaseException:
+            # Release partial shadow frames.  If the parent node crashed,
+            # its quarantined DRAM pool absorbs the puts as no-ops (the
+            # shadow died with the node — §3.1's point-of-failure coupling).
+            if frame_chunks:
+                node.dram.put(np.concatenate(frame_chunks))
+            if ckpt is not None:
+                ckpt.shadow_frames = np.empty(0, dtype=np.int64)
+                ckpt._deleted = True
+            raise
         finally:
             task.thaw()
-        node.clock.advance(metrics.latency_ns)
         node.log.emit(node.clock.now, "mitosis_checkpoint", comm=task.comm,
                       pages=ckpt.present_pages)
         return ckpt, metrics
@@ -185,11 +197,22 @@ class MitosisCxl(RemoteForkMechanism):
                 "the parent node is a point of failure)"
             )
         kernel = node.kernel
-        latency = node.fabric.latency
         metrics = RestoreMetrics()
 
         metrics.note("process_create", PROC_CREATE_NS)
         task = kernel.spawn_task(checkpoint.comm, container=container)
+        try:
+            return self._restore_into(task, checkpoint, node, policy, metrics)
+        except BaseException:
+            # Failed restores must not leak frames; a mid-restore node
+            # crash already tore the task down via node.fail().
+            if task.state is not TaskState.DEAD:
+                kernel.exit_task(task)
+            raise
+
+    def _restore_into(self, task, checkpoint, node, policy, metrics) -> RestoreResult:
+        kernel = node.kernel
+        latency = node.fabric.latency
 
         # Ship + deserialize the OS state over the CXL fabric.
         nbytes = checkpoint.os_state_bytes

@@ -1,0 +1,136 @@
+"""ResilientFork: retry transient faults, then degrade gracefully.
+
+Wraps CXLfork with the recovery policies of :mod:`repro.faults.recovery`:
+
+* **Transient faults** (a momentarily exhausted CXL pool, an allocation
+  failure injected by the fault framework) are retried with capped
+  exponential backoff plus deterministic jitter, waiting in virtual time.
+* **Persistent CXL exhaustion** degrades the *checkpoint* path from
+  cxlfork to CRIU-CXL: the CRIU image skips clean private file pages, so
+  it fits where a full CXLfork image did not — trading restore latency
+  for admission, rather than failing the fork outright.
+* **Dead nodes are not retried**: :class:`NodeFailedError` propagates
+  immediately (the porter's failure detector owns re-placement).
+
+Restores dispatch on the checkpoint's actual type, so a degraded (CRIU)
+checkpoint restores through CRIU transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cxl.allocator import OutOfMemoryError
+from repro.cxl.fabric import CxlFabric
+from repro.faults.recovery import RetryExhaustedError, RetryPolicy, call_with_retries
+from repro.os.fs.cxlfs import CxlFileSystem
+from repro.os.kernel import NodeFailedError
+from repro.os.node import ComputeNode
+from repro.os.proc.task import Task
+from repro.rfork.base import (
+    CheckpointMetrics,
+    RemoteForkMechanism,
+    RestoreResult,
+)
+from repro.rfork.criu import CriuCheckpoint, CriuCxl
+from repro.rfork.cxlfork import CxlFork
+from repro.sim.rng import RngStream, SeedSequenceFactory
+from repro.telemetry import TRACE
+
+
+class ResilientFork(RemoteForkMechanism):
+    """CXLfork with transient-fault retries and CRIU-CXL fallback."""
+
+    name = "resilient"
+    supports_ghost_containers = True
+
+    def __init__(
+        self,
+        *,
+        fabric: CxlFabric,
+        cxlfs: CxlFileSystem,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[RngStream] = None,
+        seed: int = 0,
+    ) -> None:
+        self.fabric = fabric
+        self.primary = CxlFork()
+        self.fallback = CriuCxl(cxlfs)
+        self.retry_policy = policy or RetryPolicy()
+        self.rng = (
+            rng
+            if rng is not None
+            else SeedSequenceFactory(seed).stream("resilient-fork")
+        )
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def checkpoint(self, task: Task) -> tuple[Any, CheckpointMetrics]:
+        clock = task.node.clock
+        try:
+            return call_with_retries(
+                lambda: self.primary.checkpoint(task),
+                policy=self.retry_policy,
+                clock=clock,
+                rng=self.rng,
+                retry_on=(OutOfMemoryError,),
+                label="resilient.checkpoint",
+            )
+        except RetryExhaustedError as exc:
+            if not isinstance(exc.last, OutOfMemoryError):
+                raise  # pragma: no cover - retry_on limits this to OOM
+            # Graceful degradation: the CXL pool cannot hold a full CXLfork
+            # image.  A CRIU image is smaller (clean file pages skipped);
+            # fall back rather than failing the fork.
+            TRACE.count("resilient.fallback_checkpoint")
+            task.node.log.emit(
+                clock.now, "resilient_fallback", comm=task.comm,
+                reason="cxl_exhausted", to=self.fallback.name,
+            )
+            return call_with_retries(
+                lambda: self.fallback.checkpoint(task),
+                policy=self.retry_policy,
+                clock=clock,
+                rng=self.rng,
+                retry_on=(OutOfMemoryError,),
+                label="resilient.checkpoint_fallback",
+            )
+
+    # -- restore -------------------------------------------------------------
+
+    def restore(
+        self,
+        checkpoint: Any,
+        node: ComputeNode,
+        *,
+        container: Optional[Any] = None,
+        policy: Optional[Any] = None,
+    ) -> RestoreResult:
+        if node.failed:
+            raise NodeFailedError(f"restore target {node.name!r} has failed")
+        if isinstance(checkpoint, CriuCheckpoint):
+            mechanism = self.fallback
+            policy = None  # CRIU has no tiering policies
+        else:
+            mechanism = self.primary
+
+        def attempt() -> RestoreResult:
+            if node.failed:
+                raise NodeFailedError(
+                    f"restore target {node.name!r} failed while backing off"
+                )
+            return mechanism.restore(
+                checkpoint, node, container=container, policy=policy
+            )
+
+        return call_with_retries(
+            attempt,
+            policy=self.retry_policy,
+            clock=node.clock,
+            rng=self.rng,
+            retry_on=(OutOfMemoryError,),
+            label="resilient.restore",
+        )
+
+
+__all__ = ["ResilientFork"]

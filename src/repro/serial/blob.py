@@ -87,6 +87,13 @@ class CxlHeap:
     def backing_pages(self) -> int:
         return self._frame_count
 
+    @property
+    def backing_frames(self) -> np.ndarray:
+        """The CXL frames backing this heap (empty once released)."""
+        if self._frames is None:
+            return np.empty(0, dtype=np.int64)
+        return self._frames
+
     def offsets(self) -> list:
         return sorted(self._objects)
 

@@ -5,7 +5,7 @@ on a :class:`~repro.sim.clock.Clock`.  The FaaS platform experiments
 additionally use the discrete-event queue in :mod:`repro.sim.events`.
 """
 
-from repro.sim.clock import Clock
+from repro.sim.clock import Clock, ClockAlarm
 from repro.sim.events import Event, EventQueue
 from repro.sim.log import EventLog, LogRecord
 from repro.sim.rng import RngStream, SeedSequenceFactory
@@ -27,6 +27,7 @@ from repro.sim.units import (
 
 __all__ = [
     "Clock",
+    "ClockAlarm",
     "Event",
     "EventQueue",
     "EventLog",
