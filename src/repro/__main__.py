@@ -5,9 +5,11 @@ Usage::
     python -m repro list
     python -m repro run fig7
     python -m repro run fig10 --fast
+    python -m repro run fig7 --check
     python -m repro trace fig6 [-o trace.json] [--jsonl spans.jsonl]
     python -m repro report [--full] [-o report.md]
     python -m repro bench [--quick] [--update] [fig7 fig3 ...]
+    python -m repro check [--seed 0] [--steps 60] [--scenarios 4]
 """
 
 from __future__ import annotations
@@ -45,7 +47,19 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, fast: bool) -> int:
+def _cmd_run(name: str, fast: bool, check: bool = False) -> int:
+    if check:
+        from repro.check import CHECK
+
+        CHECK.reset()
+        CHECK.enable()
+        try:
+            status = _cmd_run(name, fast, check=False)
+        finally:
+            CHECK.disable()
+        print(f"\n[check] {CHECK.summary()}")
+        return status
+
     entry = EXPERIMENTS.get(name)
     if entry is None:
         print(f"unknown experiment {name!r}; `python -m repro list`",
@@ -127,6 +141,11 @@ def main(argv=None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(args_in[1:])
+    if args_in and args_in[0] == "check":
+        # The scenario fuzzer owns its argument parsing (see repro.check.fuzz).
+        from repro.check.fuzz import main as check_main
+
+        return check_main(args_in[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="CXLfork reproduction: run the paper's experiments.",
@@ -137,6 +156,9 @@ def main(argv=None) -> int:
     run_parser.add_argument("experiment", help="experiment name (see `list`)")
     run_parser.add_argument("--fast", action="store_true",
                             help="reduced scale where supported")
+    run_parser.add_argument("--check", action="store_true",
+                            help="run under the repro.check differential "
+                                 "oracle + invariant checker")
     trace_parser = sub.add_parser(
         "trace", help="run one experiment under tracing; export a trace file"
     )
@@ -152,6 +174,11 @@ def main(argv=None) -> int:
         "bench",
         help="wall-clock benchmark harness (handled above; see repro.bench)",
     )
+    sub.add_parser(
+        "check",
+        help="differential-oracle scenario fuzzer (handled above; "
+             "see repro.check.fuzz)",
+    )
     report_parser = sub.add_parser("report", help="generate the full report")
     report_parser.add_argument("--full", action="store_true",
                                help="full-scale sweeps (slow)")
@@ -161,7 +188,7 @@ def main(argv=None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.fast)
+        return _cmd_run(args.experiment, args.fast, args.check)
     if args.command == "trace":
         return _cmd_trace(args.experiment, args.fast, args.output, args.jsonl)
     if args.command == "report":

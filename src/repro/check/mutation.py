@@ -1,0 +1,51 @@
+"""Deliberate, env-var-gated bugs for testing the checkers themselves.
+
+A checker that has never caught a bug is untested code.  This module gates
+a small set of *seeded mutations* — deliberate single-bit bugs in the
+production paths — behind the ``REPRO_CHECK_MUTATION`` environment
+variable.  CI (and ``tests/test_check_mutation.py``) enables one, runs the
+differential oracle, and asserts it fires; with the variable unset the
+mutations compile to a dictionary miss and the hot paths are untouched.
+
+Known mutations:
+
+``drop-ckpt-cow``
+    :meth:`repro.rfork.cxlfork.CxlFork.checkpoint` omits the COW bit from
+    the checkpointed PTEs.  A restored child's write to a checkpoint-mapped
+    page then silently no-ops (the page stays CXL-resident and read-only
+    instead of CoW-ing local) — exactly the class of PTE-encoding bug the
+    oracle exists to catch, and invisible to every latency metric.
+
+Enable with e.g. ``REPRO_CHECK_MUTATION=drop-ckpt-cow python -m repro check``.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_VAR = "REPRO_CHECK_MUTATION"
+
+#: Mutation name -> description, for ``python -m repro check --list-mutations``.
+KNOWN = {
+    "drop-ckpt-cow": "cxlfork checkpoint PTEs lose the COW bit (child writes no-op)",
+}
+
+
+def active(name: str) -> bool:
+    """True when mutation ``name`` is enabled via the environment.
+
+    Read per call (not cached at import) so tests can monkeypatch the
+    environment; the cost is one ``os.environ`` lookup on the checkpoint
+    path, far below measurement noise.
+    """
+    value = os.environ.get(ENV_VAR)
+    if not value:
+        return False
+    return name in value.split(",")
+
+
+def any_active() -> bool:
+    return bool(os.environ.get(ENV_VAR))
+
+
+__all__ = ["ENV_VAR", "KNOWN", "active", "any_active"]

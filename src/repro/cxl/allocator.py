@@ -136,6 +136,19 @@ class FrameAllocator:
     def refcount(self, frame: int) -> int:
         return int(self._refcount[self._index(frame)])
 
+    def refcounts(self, frames: "np.ndarray | Iterable[int]") -> np.ndarray:
+        """Vectorized refcount lookup (read-only; for the checkers)."""
+        idx = self._indices(frames)
+        out = np.zeros(idx.size, dtype=np.int32)
+        in_range = idx < self._refcount.size
+        out[in_range] = self._refcount[idx[in_range]]
+        return out
+
+    @property
+    def live_frames(self) -> int:
+        """Frames with a nonzero refcount — must equal ``allocated_frames``."""
+        return int(np.count_nonzero(self._refcount[: self._bump] > 0))
+
     def _index(self, frame: int) -> int:
         if not self.owns(frame):
             raise ValueError(f"frame {frame} not owned by pool {self.name!r}")

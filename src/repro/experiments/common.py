@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.check import CHECK
 from repro.cxl.latency import MemoryLatencyModel
 from repro.cxl.topology import PodTopology
 from repro.faas.functions import FunctionSpec
@@ -131,6 +132,12 @@ def measure_cold_start(
     spec = workload.spec
     target = pod.target
 
+    # Under --check (the repro.check differential oracle), snapshot the
+    # parent that the fork clones and verify the fresh child against it.
+    # Every check is a read-only walk that never advances a virtual clock,
+    # so enabling it cannot perturb latencies or bench digests.
+    oracle = None
+
     if mechanism_name == "cold":
         mech = get_mechanism("cold", builder=workload.builder())
         image, _ = mech.checkpoint(parent.instance.task)
@@ -142,15 +149,42 @@ def measure_cold_start(
         mech = get_mechanism("localfork")
         # The warm parent must live on the target node.
         local_parent = prepare_parent(pod, spec, node=target)
+        if CHECK.enabled:
+            from repro.check.oracle import DifferentialOracle
+
+            oracle = DifferentialOracle(
+                local_parent.instance.task, label=mechanism_name
+            )
         restore = mech.restore(local_parent.instance.task, target)
         child = workload.placed_plan_for(local_parent.instance, restore.task)
     else:
         mech = get_mechanism(mechanism_name, fabric=pod.fabric, cxlfs=pod.cxlfs)
+        if CHECK.enabled:
+            from repro.check.oracle import DifferentialOracle
+
+            oracle = DifferentialOracle(parent.instance.task, label=mechanism_name)
         checkpoint, _ = mech.checkpoint(parent.instance.task)
         restore = mech.restore(checkpoint, target, policy=policy)
         child = workload.placed_plan_for(parent.instance, restore.task)
 
+    if oracle is not None:
+        # A fresh child must be page-for-page equivalent to its parent.
+        oracle.verify_child(restore.task, label="fresh")
+
     invocation = workload.invoke(child)
+
+    if CHECK.enabled:
+        from repro.check.invariants import check_task
+
+        # Post-invocation MMU invariants on the child, and — for forked
+        # mechanisms — proof the child's writes never reached the parent.
+        report = check_task(child.task)
+        if not report.clean:
+            from repro.check import CheckFailure
+
+            raise CheckFailure(report.describe())
+        if oracle is not None:
+            oracle.verify_parent_pristine()
     measurement = ColdStartMeasurement(
         function=spec.name,
         mechanism=mechanism_name,

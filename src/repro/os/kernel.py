@@ -760,7 +760,7 @@ class Kernel:
             covered = remaining & ((ckpt_ptes & _PRESENT) != 0)
             if np.any(covered):
                 self._fault_from_checkpoint(
-                    task, leaf, sl, covered, ckpt_ptes, write, backing, stats
+                    task, vma, leaf, sl, covered, ckpt_ptes, write, backing, stats
                 )
                 remaining &= ~covered
         if not np.any(remaining):
@@ -827,6 +827,7 @@ class Kernel:
     def _fault_from_checkpoint(
         self,
         task: Task,
+        vma: Vma,
         leaf: PteLeaf,
         sl: slice,
         mask: np.ndarray,
@@ -849,7 +850,12 @@ class Kernel:
         if np.any(copy_mask):
             count = int(np.count_nonzero(copy_mask))
             frames = self._alloc_local(mm, count)
-            flags = PteFlags.PRESENT | PteFlags.WRITE | PteFlags.USER | PteFlags.ACCESSED
+            # The private copy is hardware-writable only in a writable VMA;
+            # copies of read-only mappings (library images under MoA or
+            # Mitosis) must stay read-only like the mapping they realize.
+            flags = PteFlags.PRESENT | PteFlags.USER | PteFlags.ACCESSED
+            if vma.perms & VmaPerms.WRITE:
+                flags |= PteFlags.WRITE
             if write:
                 flags |= PteFlags.DIRTY
             leaf.ptes[sl][copy_mask] = make_ptes(frames, int(flags))

@@ -82,6 +82,25 @@ class PageCache:
         """Cached file paths, oldest first (the reclaim scan order)."""
         return list(self._files)
 
+    def peek_range(self, path: str, offset_pages: int, npages: int) -> tuple:
+        """Read-only cache state for ``[offset, offset+npages)`` of ``path``.
+
+        Returns ``(cached, frames)`` aligned with the window, with no loads
+        and no allocation — the correctness checkers use this to validate
+        that clean file mappings alias the cache without perturbing it.
+        """
+        cached = np.zeros(npages, dtype=bool)
+        frames = np.full(npages, -1, dtype=np.int64)
+        entry = self._files.get(path)
+        if entry is not None and npages > 0:
+            have_cached, have_frames = entry
+            end = min(have_cached.size, offset_pages + npages)
+            if end > offset_pages:
+                k = end - offset_pages
+                cached[:k] = have_cached[offset_pages:end]
+                frames[:k] = have_frames[offset_pages:end]
+        return cached, frames
+
     def cached_pages(self, path: str) -> int:
         entry = self._files.get(path)
         if entry is None:

@@ -180,14 +180,21 @@ class CriuCxl(RemoteForkMechanism):
     def _file_clean_pages(task: Task) -> np.ndarray:
         """Sorted vpns of present, clean, file-backed pages (not dumped by
         CRIU).  Sorted ascending so the checkpoint scans can use the
-        searchsorted helpers instead of ``np.isin``."""
+        searchsorted helpers instead of ``np.isin``.
+
+        Clean means *never privately modified*, not merely not-dirty: a
+        CoW-broken private copy stays hardware-writable after ``season()``
+        (or A/D harvesting) clears its DIRTY bit, and skipping it would
+        restore the pristine file bytes instead of the parent's — a silent
+        semantic divergence the differential oracle catches."""
+        clean_mask = np.int64(int(PteFlags.DIRTY) | int(PteFlags.WRITE))
         chunks = []
         for vma in task.mm.vmas:
             if vma.kind is not VmaKind.FILE_PRIVATE:
                 continue
             ptes = task.mm.pagetable.gather_ptes(vma.start_vpn, vma.npages)
             present = (ptes & np.int64(int(PteFlags.PRESENT))) != 0
-            clean = (ptes & np.int64(int(PteFlags.DIRTY))) == 0
+            clean = (ptes & clean_mask) == 0
             sel = np.nonzero(present & clean)[0]
             if sel.size:
                 chunks.append(vma.start_vpn + sel)
@@ -286,8 +293,10 @@ class CriuCxl(RemoteForkMechanism):
             | PteFlags.DIRTY
         )
         for pagemap in checkpoint.pagemaps:
-            # Skip runs that were not dumped (clean file pages).
-            if not pagemap.flags & int(PteFlags.DIRTY):
+            # Skip runs that were not dumped (clean file pages: neither
+            # dirty nor a hardware-writable private copy — mirrors
+            # ``_file_clean_pages``).
+            if not pagemap.flags & (int(PteFlags.DIRTY) | int(PteFlags.WRITE)):
                 vma = task.mm.vmas.find(pagemap.start_vpn)
                 if vma is not None and vma.kind is VmaKind.FILE_PRIVATE:
                     continue

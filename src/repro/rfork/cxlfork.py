@@ -22,6 +22,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.check import mutation as _mutation
 from repro.os.kernel import CheckpointBacking
 from repro.os.mm.pagetable import PTES_PER_LEAF, PageTable, PteLeaf
 from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags
@@ -192,6 +193,12 @@ class CxlFork(RemoteForkMechanism):
                 skip_vpns = CriuCxl._file_clean_pages(task)
 
             # 1. Copy data pages to CXL and build the rebased page table.
+            base_flags = _CKPT_BASE_FLAGS
+            if _mutation.active("drop-ckpt-cow"):
+                # Seeded bug for the checker's own smoke test: without COW,
+                # a child's write to a checkpoint-mapped page silently
+                # no-ops instead of CoW-ing local (see repro.check.mutation).
+                base_flags = base_flags & ~np.int64(int(PteFlags.COW))
             total_present = 0
             for leaf_index, leaf in task.mm.pagetable.leaves():
                 present = (leaf.ptes & np.int64(int(PteFlags.PRESENT))) != 0
@@ -206,7 +213,7 @@ class CxlFork(RemoteForkMechanism):
                     preserved = leaf.ptes[present] & _AD_HOT_MASK
                     new_ptes[present] = (
                         (cxl_frames << np.int64(PTE_FRAME_SHIFT))
-                        | _CKPT_BASE_FLAGS
+                        | base_flags
                         | preserved
                     )
                     total_present += count
@@ -469,15 +476,20 @@ class CxlFork(RemoteForkMechanism):
             if count == 0:
                 continue
             frames = kernel.alloc_local_frames(task.mm, count)
-            flags = (
-                PteFlags.PRESENT
-                | PteFlags.WRITE
-                | PteFlags.USER
-                | PteFlags.ACCESSED
-            )
             from repro.os.mm.pte import make_ptes
+            from repro.os.mm.vma import VmaPerms
 
-            child_leaf.ptes[unmapped] = make_ptes(frames, int(flags))
+            # The prefetched copy is hardware-writable only where the VMA
+            # is: A-marked pages include read-only library images, and a
+            # writable PTE in a read-only mapping breaks protection.
+            base = int(PteFlags.PRESENT | PteFlags.USER | PteFlags.ACCESSED)
+            vpn0 = leaf_index * PTES_PER_LEAF
+            ptes = make_ptes(frames, base)
+            for pos, i in enumerate(np.nonzero(unmapped)[0]):
+                vma = task.mm.vmas.find(vpn0 + int(i))
+                if vma is not None and vma.perms & VmaPerms.WRITE:
+                    ptes[pos] |= np.int64(int(PteFlags.WRITE))
+            child_leaf.ptes[unmapped] = ptes
             copied += count
         return copied
 

@@ -1,0 +1,59 @@
+"""The seeded drop-ckpt-cow mutation: detected when armed, silent otherwise."""
+
+import numpy as np
+import pytest
+
+from repro.check import CheckFailure
+from repro.check import mutation
+from repro.check.fuzz import main, run_scenario
+from repro.os.mm.pte import PteFlags
+from repro.rfork.cxlfork import CxlFork
+
+ARMED = {"REPRO_CHECK_MUTATION": "drop-ckpt-cow"}
+
+
+class TestRegistry:
+    def test_known_mutations_listed(self):
+        assert "drop-ckpt-cow" in mutation.KNOWN
+
+    def test_inactive_by_default(self, monkeypatch):
+        monkeypatch.delenv(mutation.ENV_VAR, raising=False)
+        assert not mutation.active("drop-ckpt-cow")
+        assert not mutation.any_active()
+
+    def test_active_reads_env(self, monkeypatch):
+        monkeypatch.setenv(mutation.ENV_VAR, "drop-ckpt-cow")
+        assert mutation.active("drop-ckpt-cow")
+        assert mutation.any_active()
+        assert not mutation.active("some-other-bug")
+
+
+class TestMutationEffect:
+    def test_checkpoint_ptes_lose_cow(self, parent, monkeypatch):
+        _, instance = parent
+        monkeypatch.setenv(mutation.ENV_VAR, "drop-ckpt-cow")
+        ckpt, _ = CxlFork().checkpoint(instance.task)
+        cow = np.int64(int(PteFlags.COW))
+        present = np.int64(int(PteFlags.PRESENT))
+        for _, leaf in ckpt.pagetable.leaves():
+            sel = leaf.ptes[(leaf.ptes & present) != 0]
+            if sel.size:
+                assert int(np.count_nonzero(sel & cow)) == 0
+
+
+class TestSmoke:
+    def test_armed_mutation_is_detected(self, monkeypatch, check_enabled):
+        """The differential oracle must flag the dropped COW bit as a lost
+        write the first time a child write silently no-ops."""
+        monkeypatch.setenv(mutation.ENV_VAR, "drop-ckpt-cow")
+        with pytest.raises(CheckFailure) as info:
+            run_scenario(0, steps=40)
+        assert "lost-write" in str(info.value)
+
+    def test_disarmed_run_is_clean(self, monkeypatch, check_enabled):
+        monkeypatch.delenv(mutation.ENV_VAR, raising=False)
+        assert run_scenario(0, steps=40).ok
+
+    def test_cli_exits_nonzero_when_armed(self, monkeypatch):
+        monkeypatch.setenv(mutation.ENV_VAR, "drop-ckpt-cow")
+        assert main(["--seed", "0", "--steps", "40"]) == 1

@@ -1,0 +1,195 @@
+"""repro.check.oracle: differential parent/child address-space equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.check import CheckFailure
+from repro.check.oracle import DifferentialOracle, capture_snapshot
+from repro.os.mm.pte import PteFlags
+from repro.os.mm.vma import VmaKind, VmaPerms
+from repro.rfork.registry import get_mechanism
+from repro.tiering.hotness import reset_access_bits
+
+RFORKS = ["cxlfork", "criu-cxl", "mitosis-cxl"]
+
+
+def _writable_anon_vma(task):
+    for vma in task.mm.vmas:
+        if vma.kind is VmaKind.ANON and (vma.perms & VmaPerms.WRITE):
+            return vma
+    raise AssertionError("no writable anonymous VMA")
+
+
+class TestSnapshot:
+    def test_snapshot_covers_every_vma(self, parent):
+        _, instance = parent
+        snap = capture_snapshot(instance.task)
+        assert len(snap.vmas) == sum(1 for _ in instance.task.mm.vmas)
+        assert snap.total_pages == sum(v.npages for v in instance.task.mm.vmas)
+
+    def test_checkpoint_backed_parent_rejected(self, pod, checkpointed):
+        _, _, mech, ckpt, _ = checkpointed
+        result = mech.restore(ckpt, pod.target)
+        with pytest.raises(ValueError):
+            capture_snapshot(result.task)
+
+
+class TestFreshChildren:
+    @pytest.mark.parametrize("mech_name", RFORKS)
+    def test_fresh_child_equivalent(self, pod, parent, mech_name):
+        _, instance = parent
+        oracle = DifferentialOracle(instance.task)
+        mech = get_mechanism(mech_name, fabric=pod.fabric, cxlfs=pod.cxlfs)
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        report = oracle.verify_child(result.task)
+        assert report.clean, report.describe()
+
+    def test_localfork_child_equivalent(self, pod, parent):
+        _, instance = parent
+        oracle = DifferentialOracle(instance.task)
+        result = get_mechanism("localfork").restore(instance.task, pod.source)
+        report = oracle.verify_child(result.task)
+        assert report.clean, report.describe()
+
+    def test_cross_mechanism_children_agree(self, pod, parent):
+        _, instance = parent
+        oracle = DifferentialOracle(instance.task)
+        cxl = get_mechanism("cxlfork", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        mit = get_mechanism("mitosis-cxl", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        ckpt_a, _ = cxl.checkpoint(instance.task)
+        ckpt_b, _ = mit.checkpoint(instance.task)
+        child_a = cxl.restore(ckpt_a, pod.target).task
+        child_b = mit.restore(ckpt_b, pod.target).task
+        report = oracle.compare_children(child_a, child_b)
+        assert report.clean, report.describe()
+
+
+class TestWrites:
+    def _forked_child(self, pod, parent):
+        _, instance = parent
+        oracle = DifferentialOracle(instance.task)
+        mech = get_mechanism("cxlfork", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        ckpt, _ = mech.checkpoint(instance.task)
+        child = mech.restore(ckpt, pod.target).task
+        return oracle, child
+
+    def test_ledgered_writes_verify(self, pod, parent):
+        oracle, child = self._forked_child(pod, parent)
+        vma = _writable_anon_vma(child)
+        start = vma.start_vpn + 2
+        pod.target.kernel.access_range(child, start, 3, write=True)
+        ledger = {start + i: 9 for i in range(3)}
+        report = oracle.verify_child(child, ledger)
+        assert report.clean, report.describe()
+
+    def test_aliased_cxl_frame_diverges(self, pod, parent):
+        """A child PTE pointing at the *wrong* checkpoint frame — right
+        tier, wrong bytes — must be caught as a cxl-alias anomaly.  The
+        corruption is seeded in a leaf the child privatized (one CoW write),
+        so it cannot rewrite the checkpoint's own frame table underneath
+        the oracle."""
+        _, instance = parent
+        oracle = DifferentialOracle(instance.task)
+        mech = get_mechanism("cxlfork", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        ckpt, _ = mech.checkpoint(instance.task)
+        child = mech.restore(ckpt, pod.target).task
+        ck_ids = {id(leaf) for _, leaf in ckpt.pagetable.leaves()}
+        vma = _writable_anon_vma(child)
+        pod.target.kernel.access_range(child, vma.start_vpn, 1, write=True)
+        ledger = {vma.start_vpn: 1}
+        cxl = np.int64(int(PteFlags.PRESENT) | int(PteFlags.CXL))
+        for _, leaf in child.mm.pagetable.leaves():
+            if id(leaf) in ck_ids:
+                continue
+            idx = np.nonzero((leaf.ptes & cxl) == cxl)[0]
+            if idx.size >= 2:
+                a, b = int(idx[0]), int(idx[1])
+                assert leaf.ptes[a] != leaf.ptes[b]
+                leaf.ptes[a], leaf.ptes[b] = leaf.ptes[b], leaf.ptes[a]
+                break
+        else:
+            raise AssertionError("no privatized leaf with two CXL mappings")
+        report = oracle.verify_child(child, ledger, raise_on_divergence=False)
+        assert not report.clean
+        assert "cxl-alias" in report.describe()
+        with pytest.raises(CheckFailure):
+            oracle.verify_child(child, ledger)
+
+    def test_structural_divergence_detected(self, pod, parent):
+        """A VMA the parent never had is a structural divergence.  (CRIU
+        children own their VMA tree outright, so growing one is legal at
+        the MM layer but must still diverge from the snapshot.)"""
+        _, instance = parent
+        oracle = DifferentialOracle(instance.task)
+        mech = get_mechanism("criu-cxl", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        ckpt, _ = mech.checkpoint(instance.task)
+        child = mech.restore(ckpt, pod.target).task
+        pod.target.kernel.map_anon_region(child, 8, label="rogue",
+                                          populate=False)
+        report = oracle.verify_child(child, raise_on_divergence=False)
+        assert not report.clean
+        assert report.structural
+
+    def test_ledger_without_write_is_lost_write(self, pod, parent):
+        """A ledger entry the child never executed cannot be laundered."""
+        oracle, child = self._forked_child(pod, parent)
+        vma = _writable_anon_vma(child)
+        report = oracle.verify_child(
+            child, {vma.start_vpn: 4}, raise_on_divergence=False
+        )
+        assert not report.clean
+        assert "lost-write" in report.describe()
+
+
+class TestParentPristine:
+    def test_child_writes_leave_parent_untouched(self, pod, parent):
+        _, instance = parent
+        oracle = DifferentialOracle(instance.task)
+        mech = get_mechanism("cxlfork", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        ckpt, _ = mech.checkpoint(instance.task)
+        child = mech.restore(ckpt, pod.target).task
+        vma = _writable_anon_vma(child)
+        pod.target.kernel.access_range(child, vma.start_vpn, 8, write=True)
+        report = oracle.verify_parent_pristine()
+        assert report.clean, report.describe()
+
+    def test_parent_population_needs_allowlist(self, pod, parent):
+        _, instance = parent
+        task = instance.task
+        kernel = pod.source.kernel
+        vma = kernel.map_anon_region(task, 16, label="growable", populate=False)
+        oracle = DifferentialOracle(task)
+        kernel.access_range(task, vma.start_vpn, 2, write=True)
+        with pytest.raises(CheckFailure):
+            oracle.verify_parent_pristine()
+        report = oracle.verify_parent_pristine(
+            [vma.start_vpn, vma.start_vpn + 1]
+        )
+        assert report.clean, report.describe()
+
+
+class TestCriuCleanPageRegression:
+    def test_cow_broken_file_page_survives_seasoning(self, pod):
+        """Regression: a privately modified file page whose DIRTY bit was
+        cleared by seasoning (WRITE still set) must be dumped by CRIU — the
+        old DIRTY-only classification restored stale file bytes."""
+        kernel = pod.source.kernel
+        task = kernel.spawn_task("criu-regress")
+        vma = kernel.map_file_region(
+            task, "/lib/regress.so", 32, writable=True,
+            label="rw-file", populate=True,
+        )
+        kernel.access_range(task, vma.start_vpn + 3, 2, write=True)
+        # Season: A/D cleared, the CoW-broken copies keep their WRITE bit.
+        reset_access_bits(task.mm.pagetable, clear_dirty=True)
+        dirty = np.int64(int(PteFlags.DIRTY))
+        ptes = task.mm.pagetable.gather_ptes(vma.start_vpn + 3, 2)
+        assert int(np.count_nonzero(ptes & dirty)) == 0
+
+        oracle = DifferentialOracle(task)
+        mech = get_mechanism("criu-cxl", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        ckpt, _ = mech.checkpoint(task)
+        child = mech.restore(ckpt, pod.target).task
+        report = oracle.verify_child(child)
+        assert report.clean, report.describe()

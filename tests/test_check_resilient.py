@@ -1,0 +1,94 @@
+"""repro.check + faults: forks stay equivalent through retries, the CRIU
+fallback, and mid-checkpoint crashes (the ISSUE's resilience regression)."""
+
+import pytest
+
+from repro.check.invariants import check_pod
+from repro.check.oracle import DifferentialOracle
+from repro.experiments.common import make_pod, prepare_parent
+from repro.faults import FaultInjector, InjectedCrash
+from repro.faults.recovery import RetryPolicy
+from repro.rfork.criu import CriuCheckpoint
+from repro.rfork.registry import get_mechanism
+from repro.rfork.resilient import ResilientFork
+from repro.sim.units import MS
+
+
+def _resilient(pod, *, max_attempts=3):
+    return ResilientFork(
+        fabric=pod.fabric,
+        cxlfs=pod.cxlfs,
+        policy=RetryPolicy(
+            base_ns=int(1 * MS),
+            cap_ns=int(8 * MS),
+            max_attempts=max_attempts,
+            jitter=0.0,
+        ),
+    )
+
+
+def _clean_pod(pod, checkpoints):
+    report = check_pod(
+        pod.fabric, pod.nodes, cxlfs=pod.cxlfs, checkpoints=list(checkpoints)
+    )
+    assert report.clean, report.describe()
+
+
+class TestResilientEquivalence:
+    def test_retried_checkpoint_child_equivalent(self):
+        """One transient OOM: backoff, retry — the child must be exactly the
+        child a fault-free checkpoint would have produced."""
+        pod = make_pod()
+        parent = prepare_parent(pod, "json")
+        oracle = DifferentialOracle(parent.instance.task)
+        resilient = _resilient(pod)
+        handle = FaultInjector(seed=21).transient_oom(
+            pod.fabric.device.frames, failures=1
+        )
+        ckpt, _ = resilient.checkpoint(parent.instance.task)
+        handle.remove()
+        assert not isinstance(ckpt, CriuCheckpoint)
+        child = resilient.restore(ckpt, pod.target).task
+        report = oracle.verify_child(child)
+        assert report.clean, report.describe()
+        _clean_pod(pod, [ckpt])
+
+    def test_criu_fallback_child_equivalent(self):
+        """Persistent CXL exhaustion degrades cxlfork -> CRIU; degradation
+        must change latency, never the child's address space."""
+        pod = make_pod()
+        parent = prepare_parent(pod, "json")
+        oracle = DifferentialOracle(parent.instance.task)
+        resilient = _resilient(pod, max_attempts=2)
+        handle = FaultInjector(seed=22).transient_oom(
+            pod.fabric.device.frames, failures=2
+        )
+        ckpt, _ = resilient.checkpoint(parent.instance.task)
+        handle.remove()
+        assert isinstance(ckpt, CriuCheckpoint)
+        child = resilient.restore(ckpt, pod.target).task
+        report = oracle.verify_child(child)
+        assert report.clean, report.describe()
+        _clean_pod(pod, [ckpt])
+
+
+class TestMidCheckpointCrash:
+    def test_child_equivalent_after_crashed_recheckpoint(self):
+        """A crash halfway through someone else's checkpoint cannot poison
+        an existing image: a child restored from it afterwards still
+        matches the original parent page-for-page."""
+        pod = make_pod(node_count=3)
+        parent = prepare_parent(pod, "json")
+        mech = get_mechanism("cxlfork", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        oracle = DifferentialOracle(parent.instance.task)
+        ckpt, _ = mech.checkpoint(parent.instance.task)
+
+        fresh = prepare_parent(pod, "json", node=pod.nodes[1])
+        FaultInjector(seed=23).crash_after(pod.nodes[1], int(1 * MS))
+        with pytest.raises(InjectedCrash):
+            mech.checkpoint(fresh.instance.task)
+
+        child = mech.restore(ckpt, pod.nodes[2]).task
+        report = oracle.verify_child(child)
+        assert report.clean, report.describe()
+        _clean_pod(pod, [ckpt])

@@ -2,23 +2,18 @@
 
 import pytest
 
-from repro.faas.workload import FunctionWorkload
 from repro.porter.ghostpool import GhostContainerPool
 from repro.porter.keepalive import KeepAlivePolicy
 from repro.porter.metrics import LatencyRecorder
 from repro.porter.objectstore import CheckpointObjectStore
 from repro.porter.tiering_controller import TieringController
-from repro.rfork.cxlfork import CxlFork
 from repro.sim.units import SEC
 from repro.tiering.mow import MigrateOnWrite
 
 
 @pytest.fixture
-def checkpoint(pod):
-    workload = FunctionWorkload("float")
-    instance = workload.build_instance(pod.source)
-    workload.season(instance)
-    ckpt, _ = CxlFork().checkpoint(instance.task)
+def checkpoint(checkpointed):
+    _, _, _, ckpt, _ = checkpointed
     return ckpt
 
 

@@ -1,10 +1,13 @@
 """Property-based tests: frame-allocator invariants under random workloads."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cxl.allocator import FrameAllocator, OutOfMemoryError
+
+pytestmark = pytest.mark.prop
 
 
 @st.composite

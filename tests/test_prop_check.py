@@ -1,0 +1,20 @@
+"""Property-based: any generated scenario holds oracle + invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.check.fuzz import ScenarioRunner, scenario_strategy
+
+pytestmark = pytest.mark.prop
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(scenario=scenario_strategy(max_steps=15))
+def test_random_scenarios_hold(scenario):
+    result = ScenarioRunner(scenario).run()
+    assert result.ok
+    assert result.ops_applied == len(scenario.ops)

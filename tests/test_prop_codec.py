@@ -1,9 +1,13 @@
 """Property-based tests: the codec round-trips arbitrary values."""
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.serial.codec import decode, encode, encoded_size
+
+pytestmark = pytest.mark.prop
 
 # Values the codec supports: scalars composed into lists and string-keyed
 # dicts, nested a few levels deep.

@@ -1,9 +1,13 @@
 """Property-based tests: event-queue ordering under random schedules."""
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.events import EventQueue
+
+pytestmark = pytest.mark.prop
 
 schedules = st.lists(
     st.tuples(

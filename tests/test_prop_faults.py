@@ -20,6 +20,8 @@ from repro.os.kernel import NodeFailedError
 from repro.os.proc.task import TaskState
 from repro.sim.units import US
 
+pytestmark = pytest.mark.prop
+
 OPS = ("crash", "checkpoint", "restore", "invoke", "delete", "exit")
 
 #: Recoverable outcomes of any single step.  An injected crash surfaces

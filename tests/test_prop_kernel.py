@@ -11,11 +11,14 @@ and checks the global invariants that every mechanism depends on:
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cxl.topology import PodTopology
 from repro.sim.units import GIB
+
+pytestmark = pytest.mark.prop
 
 
 @st.composite

@@ -1,11 +1,14 @@
 """Property-based tests: page-table map/gather and sharing invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.os.mm.pagetable import PTES_PER_LEAF, PageTable, PteLeaf
 from repro.os.mm.pte import PteFlags, make_ptes
+
+pytestmark = pytest.mark.prop
 
 ranges = st.tuples(
     st.integers(min_value=0, max_value=5000),  # start vpn

@@ -6,6 +6,8 @@ horizon — never dropped), never corrupt memory accounting, and leave the
 pod reclaimable.
 """
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -14,6 +16,8 @@ from repro.faas.traces import Request
 from repro.porter.autoscaler import CxlPorter, PorterConfig
 from repro.porter.keepalive import KeepAlivePolicy
 from repro.sim.units import GIB, SEC
+
+pytestmark = pytest.mark.prop
 
 
 @st.composite

@@ -1,10 +1,14 @@
 """Property-based tests: VMA tree ordering and touch-mask guarantees."""
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.faas.invocation import touch_mask
 from repro.os.mm.vma import Vma, VmaPerms, VmaTree
+
+pytestmark = pytest.mark.prop
 
 
 @st.composite

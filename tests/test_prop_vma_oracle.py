@@ -8,11 +8,14 @@ and assert the structural invariants after every mutation.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.os.mm.vma import VMAS_PER_LEAF, Vma, VmaPerms, VmaTree
 from repro.sim.npx import count_in_range, ensure_sorted, in_sorted, mask_in_range
+
+pytestmark = pytest.mark.prop
 
 
 class NaiveVmaStore:

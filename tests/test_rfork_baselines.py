@@ -8,14 +8,6 @@ from repro.rfork.localfork import LocalFork
 from repro.rfork.registry import MECHANISMS, get_mechanism
 
 
-@pytest.fixture
-def parent(pod):
-    workload = FunctionWorkload("float")
-    instance = workload.build_instance(pod.source)
-    workload.season(instance)
-    return workload, instance
-
-
 class TestLocalFork:
     def test_checkpoint_is_the_parent(self, parent):
         _, instance = parent

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.faas.workload import FunctionWorkload
 from repro.os.mm.faults import FaultKind
 from repro.rfork.criu import CriuCxl
 
@@ -10,14 +9,6 @@ from repro.rfork.criu import CriuCxl
 @pytest.fixture
 def mech(pod):
     return CriuCxl(pod.cxlfs)
-
-
-@pytest.fixture
-def parent(pod):
-    workload = FunctionWorkload("float")
-    instance = workload.build_instance(pod.source)
-    workload.season(instance)
-    return workload, instance
 
 
 class TestCheckpoint:

@@ -11,23 +11,6 @@ from repro.serial.rebase import RebaseError
 from repro.tiering import HybridTiering, MigrateOnAccess, MigrateOnWrite
 
 
-@pytest.fixture
-def parent(pod):
-    """A seasoned small function on node0."""
-    workload = FunctionWorkload("float")
-    instance = workload.build_instance(pod.source)
-    workload.season(instance)
-    return workload, instance
-
-
-@pytest.fixture
-def checkpointed(parent):
-    workload, instance = parent
-    mech = CxlFork()
-    ckpt, metrics = mech.checkpoint(instance.task)
-    return workload, instance, mech, ckpt, metrics
-
-
 class TestCheckpoint:
     def test_all_present_pages_replicated(self, checkpointed):
         _, instance, _, ckpt, _ = checkpointed

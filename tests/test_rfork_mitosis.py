@@ -8,14 +8,6 @@ from repro.rfork.mitosis import MitosisCxl, MitosisPolicy
 
 
 @pytest.fixture
-def parent(pod):
-    workload = FunctionWorkload("float")
-    instance = workload.build_instance(pod.source)
-    workload.season(instance)
-    return workload, instance
-
-
-@pytest.fixture
 def mech():
     return MitosisCxl()
 
