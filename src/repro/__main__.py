@@ -37,7 +37,15 @@ EXPERIMENTS = {
     "keepalive": ("repro.experiments.keepalive_study", "Extension: keep-alive sweep"),
     "density": ("repro.experiments.density", "Extension: instances per memory budget"),
     "write-heavy": ("repro.experiments.write_heavy", "Extension: write-heavy workloads"),
+    "cluster-scale": (
+        "repro.experiments.cluster_scale",
+        "Extension: federated CXL pods vs one naive big pod (§8)",
+    ),
 }
+
+#: Experiments whose CLI accepts ``--seed`` (the rest are deterministic
+#: closed-form sweeps with nothing to reseed).
+SEED_AWARE = {"cluster-scale", "failure-sweep", "fig10"}
 
 
 def _cmd_list() -> int:
@@ -47,14 +55,16 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, fast: bool, check: bool = False) -> int:
+def _cmd_run(
+    name: str, fast: bool, check: bool = False, seed: int | None = None
+) -> int:
     if check:
         from repro.check import CHECK
 
         CHECK.reset()
         CHECK.enable()
         try:
-            status = _cmd_run(name, fast, check=False)
+            status = _cmd_run(name, fast, check=False, seed=seed)
         finally:
             CHECK.disable()
         print(f"\n[check] {CHECK.summary()}")
@@ -65,6 +75,11 @@ def _cmd_run(name: str, fast: bool, check: bool = False) -> int:
         print(f"unknown experiment {name!r}; `python -m repro list`",
               file=sys.stderr)
         return 2
+    if seed is not None and name not in SEED_AWARE:
+        print(f"experiment {name!r} does not take a seed "
+              f"(seed-aware: {', '.join(sorted(SEED_AWARE))})",
+              file=sys.stderr)
+        return 2
     module_path, _ = entry
     import importlib
 
@@ -72,11 +87,27 @@ def _cmd_run(name: str, fast: bool, check: bool = False) -> int:
     if name == "failure-sweep":
         from repro.experiments import failure_sweep
 
-        return failure_sweep.main(["--quick"] if fast else [])
-    if fast and name == "fig10":
+        argv = ["--quick"] if fast else []
+        if seed is not None:
+            argv += ["--seed", str(seed)]
+        return failure_sweep.main(argv)
+    if name == "cluster-scale":
+        from repro.experiments import cluster_scale
+
+        argv = ["--quick"] if fast else []
+        if seed is not None:
+            argv += ["--seed", str(seed)]
+        return cluster_scale.main(argv)
+    if name == "fig10":
         from repro.experiments import fig10_porter
 
-        config = fig10_porter.Fig10Config(total_rps=80, duration_s=8)
+        if not fast and seed is None:
+            module.main()
+            return 0
+        config = fig10_porter.Fig10Config(
+            **({"total_rps": 80, "duration_s": 8} if fast else {}),
+            **({"seed": seed} if seed is not None else {}),
+        )
         rows = fig10_porter.run(config)
         print(fig10_porter.format_rows([r for r in rows if r.function == "ALL"]))
         for key, value in fig10_porter.summarize(rows).items():
@@ -159,6 +190,8 @@ def main(argv=None) -> int:
     run_parser.add_argument("--check", action="store_true",
                             help="run under the repro.check differential "
                                  "oracle + invariant checker")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="trace seed (seed-aware experiments only)")
     trace_parser = sub.add_parser(
         "trace", help="run one experiment under tracing; export a trace file"
     )
@@ -188,7 +221,7 @@ def main(argv=None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.fast, args.check)
+        return _cmd_run(args.experiment, args.fast, args.check, args.seed)
     if args.command == "trace":
         return _cmd_trace(args.experiment, args.fast, args.output, args.jsonl)
     if args.command == "report":

@@ -85,6 +85,20 @@ def _failure_sweep(quick: bool) -> Any:
     return rows
 
 
+def _cluster(quick: bool) -> Any:
+    from repro.experiments import cluster_scale
+
+    config = (
+        cluster_scale.ClusterScaleConfig.quick()
+        if quick
+        else cluster_scale.ClusterScaleConfig()
+    )
+    rows = cluster_scale.run(config)
+    # Digest the summary too: the committed baseline then *records* the
+    # federated-vs-single-pod verdict, and any change to it fails bench.
+    return {"rows": rows, "summary": cluster_scale.summarize(rows)}
+
+
 BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
     "fig7": BenchSpec(
         name="fig7",
@@ -109,6 +123,12 @@ BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
         description="Crash-timing sweep (fault injection + leak audit)",
         run_full=lambda: _failure_sweep(False),
         run_quick=lambda: _failure_sweep(True),
+    ),
+    "cluster": BenchSpec(
+        name="cluster",
+        description="Federated pods vs one naive big pod (router + replication)",
+        run_full=lambda: _cluster(False),
+        run_quick=lambda: _cluster(True),
     ),
 }
 
@@ -217,7 +237,32 @@ def run_bench(name: str, *, quick: bool = False, count_calls: bool = True) -> Be
 
 def default_baseline_dir() -> Path:
     """``benchmarks/baselines`` at the repo root (next to ``src/``)."""
-    return Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+    return repo_root() / "benchmarks" / "baselines"
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]
+
+
+def sync_root_copies(
+    names: Optional[list] = None, baseline_dir: Optional[Path] = None
+) -> list:
+    """Mirror ``benchmarks/baselines/BENCH_*.json`` to repo-root copies.
+
+    The root copies make the current performance envelope visible without
+    digging into ``benchmarks/`` (and diff noisily in review when they
+    change, which is the point).  Only baselines that exist are mirrored.
+    """
+    root = repo_root()
+    written = []
+    for name in names if names is not None else sorted(BENCH_EXPERIMENTS):
+        source = baseline_path(name, baseline_dir)
+        if not source.exists():
+            continue
+        target = root / source.name
+        target.write_text(source.read_text())
+        written.append(target)
+    return written
 
 
 def baseline_path(name: str, baseline_dir: Optional[Path] = None) -> Path:
@@ -402,6 +447,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             path = write_baseline(name, full, quick, baseline_dir)
             print(f"{name}: wrote {path} (wall {full.wall_s:.2f}s, "
                   f"digest {full.sim_results_digest[:12]})")
+        for copy in sync_root_copies(names, baseline_dir):
+            print(f"synced repo-root copy {copy.name}")
         return 0
 
     failed = False
@@ -425,7 +472,9 @@ __all__ = [
     "default_baseline_dir",
     "load_baseline",
     "main",
+    "repo_root",
     "results_digest",
     "run_bench",
+    "sync_root_copies",
     "write_baseline",
 ]

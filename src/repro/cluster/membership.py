@@ -1,0 +1,171 @@
+"""Pod membership: pods as failure domains of the federated cluster.
+
+A pod — one CXL device plus the nodes cabled to it — is the blast radius
+of a fabric failure (§3.1 treats the device as the shared fate domain; a
+node crash loses nothing, a device crash loses the pod).  The federation
+layer therefore reasons about *pods* the way a pod's CXLporter reasons
+about *nodes*: each pod is a heartbeat target, and
+:class:`~repro.porter.failure_detector.HeartbeatDetector` is reused
+verbatim at pod granularity — a :class:`PodHandle` quacks like a
+``ComputeNode`` (``.name``/``.failed``/``.suspected``/``.slow_factor``/
+``.log``), so missed-heartbeat counting, gray-failure suspicion, and
+``on_dead`` callbacks all come for free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.porter.failure_detector import HeartbeatDetector
+from repro.sim.events import EventQueue
+from repro.sim.log import EventLog
+from repro.sim.units import MS
+
+
+class PodHandle:
+    """One pod as seen by the federation: identity, resources, health.
+
+    Duck-types the node surface :class:`HeartbeatDetector` polls, so the
+    existing detector runs unmodified with pods as its "nodes".
+    """
+
+    def __init__(self, name: str, fabric, nodes: list, *, cxlfs=None,
+                 porter=None) -> None:
+        self.name = name
+        self.fabric = fabric
+        self.nodes = list(nodes)
+        self.cxlfs = cxlfs
+        #: The pod's CXLporter deployment (set after construction when the
+        #: porter is built around the handle).
+        self.porter = porter
+        #: Gray-failure flag, set by the detector (same protocol as nodes).
+        self.suspected = False
+        self.log = EventLog(enabled=False)
+        #: Whole-pod failure (CXL device power loss), distinct from all
+        #: nodes happening to crash individually.
+        self._device_failed = False
+        self._replica_ids = itertools.count(1)
+
+    # -- detector surface -------------------------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        """The pod can serve nothing: device gone or every node down."""
+        return self._device_failed or all(n.failed for n in self.nodes)
+
+    @property
+    def slow_factor(self) -> float:
+        """Worst live node's slowdown — a pod is as gray as its slowest
+        still-serving member (dead nodes don't count; they're failures)."""
+        live = [n.slow_factor for n in self.nodes if not n.failed]
+        return max(live, default=1.0)
+
+    # -- failure injection ------------------------------------------------------
+
+    def fail(self) -> None:
+        """Fabric-level failure: the device and everything on it is gone."""
+        self._device_failed = True
+        for node in self.nodes:
+            if not node.failed:
+                node.fail()
+
+    # -- resources the router weighs --------------------------------------------
+
+    @property
+    def store(self):
+        return self.porter.store
+
+    def running(self) -> int:
+        """Instances executing right now across the pod's nodes."""
+        return sum(getattr(n, "_porter_running", 0) for n in self.nodes)
+
+    def free_cxl_bytes(self) -> int:
+        return self.fabric.free_bytes
+
+    def next_image_id(self, comm: str) -> str:
+        """Local image id for a materialized replica (never on the wire)."""
+        return f"{comm}@{self.name}-r{next(self._replica_ids)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PodHandle({self.name!r}, nodes={len(self.nodes)})"
+
+
+class PodMembership:
+    """Join/leave/fail tracking for the cluster's pods.
+
+    Wraps one :class:`HeartbeatDetector` whose "nodes" are the pod
+    handles.  Detection latency scales the same way it does inside a pod:
+    ``miss_threshold * interval_ns`` from device failure to the router
+    learning about it.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        *,
+        interval_ns: int = int(500 * MS),
+        miss_threshold: int = 3,
+        on_pod_dead: Optional[Callable[[PodHandle], None]] = None,
+    ) -> None:
+        self.queue = queue
+        self._pods: dict[str, PodHandle] = {}
+        self.on_pod_dead = on_pod_dead
+        self.detector = HeartbeatDetector(
+            [],
+            queue,
+            interval_ns=interval_ns,
+            miss_threshold=miss_threshold,
+            on_dead=self._pod_declared_dead,
+        )
+
+    # -- membership -------------------------------------------------------------
+
+    def join(self, pod: PodHandle) -> PodHandle:
+        if pod.name in self._pods:
+            raise ValueError(f"pod {pod.name!r} already joined")
+        self._pods[pod.name] = pod
+        self.detector.nodes.append(pod)
+        self.detector.misses[pod.name] = 0
+        return pod
+
+    def leave(self, name: str) -> PodHandle:
+        """Graceful departure: the pod stops being a routing target."""
+        pod = self._pods.pop(name)
+        self.detector.nodes.remove(pod)
+        self.detector.misses.pop(name, None)
+        self.detector.declared_dead.pop(name, None)
+        return pod
+
+    def _pod_declared_dead(self, pod: PodHandle) -> None:
+        if self.on_pod_dead is not None:
+            self.on_pod_dead(pod)
+
+    # -- views ------------------------------------------------------------------
+
+    def pods(self) -> list:
+        """All members, join order (deterministic)."""
+        return list(self._pods.values())
+
+    def pod(self, name: str) -> PodHandle:
+        return self._pods[name]
+
+    def live_pods(self) -> list:
+        """Pods the router may target: not failed, not declared dead."""
+        return [
+            p
+            for p in self._pods.values()
+            if not p.failed and p.name not in self.detector.declared_dead
+        ]
+
+    def __len__(self) -> int:
+        return len(self._pods)
+
+    def start(self) -> None:
+        self.detector.start()
+
+    def stop(self) -> None:
+        self.detector.stop()
+
+
+__all__ = ["PodHandle", "PodMembership"]

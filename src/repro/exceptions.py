@@ -1,0 +1,44 @@
+"""Shared exception types for the scheduling layers.
+
+Exhaustion happens at two distinct granularities once pods federate into a
+cluster (:mod:`repro.cluster`):
+
+* **pod-level** — every node inside one CXL pod has failed; the pod's
+  scheduler cannot place anything.  Historically this was raised as
+  ``ClusterExhaustedError`` from ``repro.porter.scheduler`` (when "cluster"
+  meant "the one pod"); that name is kept as an alias for compatibility.
+* **cluster-level** — every *pod* in the federation is down; the global
+  router has nowhere left to ship a request.
+
+Keeping them distinct matters for recovery policy: a pod-level exhaustion
+is survivable (the router re-routes to another pod), a federation-level
+one is terminal for the request.
+"""
+
+from __future__ import annotations
+
+
+class ExhaustionError(RuntimeError):
+    """Base: a scheduling layer ran out of live placement targets."""
+
+
+class PodExhaustedError(ExhaustionError):
+    """Every node in one pod has failed; nothing can be placed there."""
+
+
+#: Legacy name from before the federation layer existed, when a "cluster"
+#: was a single pod.  ``repro.porter.scheduler`` re-exports it; existing
+#: ``except ClusterExhaustedError`` sites keep working unchanged.
+ClusterExhaustedError = PodExhaustedError
+
+
+class FederationExhaustedError(ExhaustionError):
+    """Every pod in the federated cluster is down; routing is impossible."""
+
+
+__all__ = [
+    "ExhaustionError",
+    "PodExhaustedError",
+    "ClusterExhaustedError",
+    "FederationExhaustedError",
+]

@@ -13,7 +13,11 @@ from repro.porter.ghostpool import GhostContainerPool
 from repro.porter.keepalive import KeepAlivePolicy
 from repro.porter.metrics import LatencyRecorder
 from repro.porter.objectstore import CheckpointObjectStore, StoredCheckpoint
-from repro.porter.scheduler import ClusterExhaustedError, ClusterScheduler
+from repro.porter.scheduler import (
+    ClusterExhaustedError,
+    ClusterScheduler,
+    PodExhaustedError,
+)
 from repro.porter.tiering_controller import TieringController
 
 __all__ = [
@@ -27,5 +31,6 @@ __all__ = [
     "StoredCheckpoint",
     "ClusterExhaustedError",
     "ClusterScheduler",
+    "PodExhaustedError",
     "TieringController",
 ]

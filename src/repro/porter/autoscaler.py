@@ -102,6 +102,13 @@ class PorterConfig:
     controller_tick_ns: int = int(1 * SEC)
     #: Refresh checkpointed A bits every this many ticks.
     hot_refresh_ticks: int = 5
+    #: Average CXL traffic one *running* instance offers the shared device
+    #: (GB/s).  When nonzero and the fabric has a
+    #: :class:`~repro.cxl.bandwidth.BandwidthTracker` installed, the
+    #: deployment keeps the tracker's offered load equal to
+    #: ``running_instances * cxl_stream_gbps`` — so packing more nodes
+    #: onto one pod's device inflates effective CXL latency (§8).
+    cxl_stream_gbps: float = 0.0
 
 
 @dataclass
@@ -141,12 +148,21 @@ class CxlPorter:
         *,
         config: Optional[PorterConfig] = None,
         cxlfs=None,
+        queue: Optional[EventQueue] = None,
     ) -> None:
         self.nodes = list(nodes)
         self.fabric = fabric
         self.cxlfs = cxlfs
         self.config = config or PorterConfig()
-        self.queue = EventQueue()
+        #: The master clock.  Standalone deployments own a private queue;
+        #: federated deployments (repro.cluster) share the router's, so
+        #: events across pods interleave on one virtual timeline.
+        self.queue = queue if queue is not None else EventQueue()
+        #: Federation hook: when set, ``_drop`` offers the request to this
+        #: callable first; returning True means the upper layer took it
+        #: (e.g. the cluster router re-routes it to another pod) and this
+        #: deployment must not record it as failed.
+        self.drop_handler: Optional[Callable[[Request, str], bool]] = None
         self.store = CheckpointObjectStore(fabric)
         self.metrics = LatencyRecorder()
         self.scheduler = ClusterScheduler(self.nodes)
@@ -328,6 +344,7 @@ class CxlPorter:
 
     def _start_work(self, node: ComputeNode, work: Callable) -> None:
         node._porter_running += 1
+        self._update_offered_load()
         outcome = work()
         duration, on_done = outcome
         self.queue.schedule_after(
@@ -338,11 +355,22 @@ class CxlPorter:
 
     def _finish_work(self, node: ComputeNode, on_done: Callable) -> None:
         node._porter_running -= 1
+        self._update_offered_load()
         on_done()
         fifo = self._fifo[node.name]
         while fifo and node._porter_running < self._slots[node.name]:
             work, _ = fifo.popleft()
             self._start_work(node, work)
+
+    def _update_offered_load(self) -> None:
+        """Mirror the running-instance count into the fabric's bandwidth
+        tracker (no-op unless both the tracker and the config knob are on)."""
+        if self.config.cxl_stream_gbps <= 0 or self.fabric.bandwidth is None:
+            return
+        running = sum(n._porter_running for n in self.nodes)
+        self.fabric.bandwidth.register_stream(
+            "porter-load", running * self.config.cxl_stream_gbps
+        )
 
     def _measure(self, node: ComputeNode, fn: Callable) -> tuple:
         """Run ``fn`` against the node, returning (duration_ns, result)."""
@@ -535,6 +563,9 @@ class CxlPorter:
     def _drop(self, request: Request, *, reason: str) -> None:
         """Give up on a request, keeping the trace-replay accounting sound."""
         self._retry_attempts.pop(id(request), None)
+        if self.drop_handler is not None and self.drop_handler(request, reason):
+            # The federation layer re-routed it; not this pod's loss.
+            return
         self.metrics.record(
             request.function, self.queue.now - request.when, kind="failed"
         )
@@ -629,6 +660,17 @@ class CxlPorter:
 
     def _has_idle(self, node: ComputeNode, function: str) -> bool:
         return bool(self._idle[node.name].get(function))
+
+    def warm_idle_count(self, function: str) -> int:
+        """Idle warm instances of ``function`` across the deployment (a
+        locality signal for the federation router)."""
+        return sum(len(pools.get(function, ())) for pools in self._idle.values())
+
+    def total_slots(self) -> int:
+        """Aggregate concurrent-execution capacity across live nodes."""
+        return sum(
+            self._slots[n.name] for n in self.nodes if not n.failed
+        )
 
     def _take_idle(self, node: ComputeNode, function: str) -> InstanceRecord:
         record = self._idle[node.name][function].pop()

@@ -85,5 +85,28 @@ class LatencyRecorder:
         """Start kinds recorded for one function, in arrival order."""
         return list(self._kinds.get(function, []))
 
+    def latencies_for_kinds(self, kinds: tuple) -> np.ndarray:
+        """All recorded latencies whose start kind is in ``kinds``.
+
+        Histograms keep raw observations in insertion order, and the
+        per-function kind lists are appended in the same order, so zipping
+        them recovers the per-request (kind, latency) pairing.  Used for
+        cold-start percentiles: ``kinds=("restore", "cold")`` selects the
+        requests that did not hit a warm instance.
+        """
+        wanted = set(kinds)
+        chunks = []
+        for function, histogram in self._latencies.items():
+            values = histogram.to_numpy()
+            labels = self._kinds.get(function, [])
+            mask = np.fromiter(
+                (k in wanted for k in labels), dtype=bool, count=len(labels)
+            )
+            if mask.size and mask.any():
+                chunks.append(values[: mask.size][mask])
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks)
+
 
 __all__ = ["LatencyRecorder"]

@@ -89,6 +89,15 @@ class CheckpointObjectStore:
         """Existence check that does not touch LRU/restore counters."""
         return (user, function) in self._by_key
 
+    def peek(self, user: str, function: str) -> Optional[StoredCheckpoint]:
+        """Read an entry without touching LRU/restore counters.
+
+        Used by the replication layer: shipping an image to another pod
+        reads it but is not a restore, so it must not look like recency.
+        """
+        cid = self._by_key.get((user, function))
+        return None if cid is None else self._by_cid[cid]
+
     def evict(self, cid: int) -> None:
         """Delete one checkpoint and release its storage."""
         entry = self._by_cid.pop(cid, None)

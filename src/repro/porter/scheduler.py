@@ -5,11 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+# Exhaustion types live in repro.exceptions so pod-level and cluster-level
+# exhaustion are distinct; re-exported here for compatibility.
+from repro.exceptions import ClusterExhaustedError, PodExhaustedError
 from repro.os.node import ComputeNode
-
-
-class ClusterExhaustedError(RuntimeError):
-    """Every node in the cluster has failed; nothing can be placed."""
 
 
 @dataclass
@@ -48,7 +47,7 @@ class ClusterScheduler:
         if not candidates:
             candidates = [n for n in self.nodes if not n.failed]
         if not candidates:
-            raise ClusterExhaustedError("every node in the cluster has failed")
+            raise PodExhaustedError("every node in the pod has failed")
 
         def key(node: ComputeNode):
             return (-node.dram_free_bytes, running(node))
@@ -59,4 +58,4 @@ class ClusterScheduler:
         return getattr(node, "_porter_running", 0)
 
 
-__all__ = ["ClusterScheduler", "ClusterExhaustedError"]
+__all__ = ["ClusterScheduler", "ClusterExhaustedError", "PodExhaustedError"]

@@ -1,0 +1,98 @@
+"""Cross-pod replication: bit-identical wire images, dedup, loss."""
+
+import pytest
+
+from repro.cluster import build_federation
+from repro.cluster.replication import ReplicationError, encode_image
+from repro.porter.autoscaler import PorterConfig
+
+
+def drain(queue):
+    while queue.peek_time() is not None:
+        queue.step()
+
+
+def federation(mechanism="cxlfork", pod_count=2):
+    router = build_federation(
+        pod_count, porter_config=PorterConfig(mechanism=mechanism)
+    )
+    router.register_function("float")
+    return router, router.membership.pods()
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("mechanism", ["cxlfork", "criu-cxl"])
+    def test_shipped_image_reencodes_bit_identical(self, mechanism):
+        """encode(materialize(encode(ckpt))) == encode(ckpt): the wire
+        form carries no pod-specific state, so a replica of a replica is
+        indistinguishable from the original."""
+        router, (src, dst) = federation(mechanism)
+        src.porter.prewarm_and_checkpoint("float")
+        original = encode_image(
+            src.store.peek("tenant0", "float").checkpoint
+        )
+
+        landed = []
+        router.replicator.ship("float", src, dst, on_done=landed.append)
+        drain(router.queue)
+
+        assert len(landed) == 1 and landed[0] is not None
+        replica = landed[0].checkpoint
+        assert encode_image(replica) == original
+        # The replica is backed by the destination pod's own resources.
+        assert getattr(replica, "fabric", dst.fabric) is dst.fabric
+        assert getattr(replica, "cxlfs", dst.cxlfs) is dst.cxlfs
+
+    def test_second_hop_still_identical(self):
+        """pod0 -> pod1 -> pod2 must not accumulate drift."""
+        router, pods = federation(pod_count=3)
+        pods[0].porter.prewarm_and_checkpoint("float")
+        original = encode_image(
+            pods[0].store.peek("tenant0", "float").checkpoint
+        )
+        router.replicator.ship("float", pods[0], pods[1])
+        drain(router.queue)
+        router.replicator.ship("float", pods[1], pods[2])
+        drain(router.queue)
+        final = pods[2].store.peek("tenant0", "float").checkpoint
+        assert encode_image(final) == original
+
+
+class TestShipPolicies:
+    def test_mitosis_images_refuse_to_ship(self):
+        """Mitosis checkpoints are coupled to a live parent (§3.1) —
+        there is no self-contained image to put on the wire."""
+        router, (src, dst) = federation("mitosis-cxl")
+        src.porter.prewarm_and_checkpoint("float")
+        with pytest.raises(ReplicationError):
+            router.replicator.ship("float", src, dst)
+
+    def test_missing_image_raises(self):
+        router, (src, dst) = federation()
+        with pytest.raises(ReplicationError):
+            router.replicator.ship("float", src, dst)
+
+    def test_inflight_ships_deduplicate(self):
+        router, (src, dst) = federation()
+        src.porter.prewarm_and_checkpoint("float")
+        done = []
+        first = router.replicator.ship("float", src, dst, on_done=done.append)
+        second = router.replicator.ship("float", src, dst, on_done=done.append)
+        assert first == second  # joined the in-flight transfer
+        assert router.replicator.stats.ships == 1
+        assert router.replicator.stats.dedup_hits == 1
+        drain(router.queue)
+        assert len(done) == 2 and all(e is not None for e in done)
+        # Both waiters see the same landed entry, paid for once.
+        assert done[0] is done[1]
+
+    def test_destination_death_in_flight_loses_replica(self):
+        router, (src, dst) = federation()
+        src.porter.prewarm_and_checkpoint("float")
+        done = []
+        router.replicator.ship("float", src, dst, on_done=done.append)
+        dst.fail()
+        drain(router.queue)
+        assert done == [None]
+        assert router.replicator.stats.failed == 1
+        assert not dst.store.contains("tenant0", "float")

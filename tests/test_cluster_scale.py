@@ -1,0 +1,54 @@
+"""cluster_scale experiment: determinism, summary shape, audit hook."""
+
+from repro.bench import results_digest
+from repro.check.cluster import audit_federation
+from repro.cluster import RouterConfig, build_federation
+from repro.experiments import cluster_scale
+from repro.porter.autoscaler import PorterConfig
+
+
+def test_quick_run_is_deterministic():
+    """Two quick runs from the same seed must digest identically — this
+    is the digest CI pins against BENCH_cluster.json."""
+    digests = [
+        results_digest(cluster_scale.run(cluster_scale.ClusterScaleConfig.quick()))
+        for _ in range(2)
+    ]
+    assert digests[0] == digests[1]
+
+
+def test_quick_summary_shape():
+    rows = cluster_scale.run(cluster_scale.ClusterScaleConfig.quick())
+    assert len(rows) == 4  # 2 RPS points x 2 arms
+    assert {r.arm for r in rows} == {"single-pod", "federated"}
+    summary = cluster_scale.summarize(rows)
+    assert isinstance(summary["federated_wins_cold_p99_at_peak"], bool)
+    assert summary["peak_rps"] == max(
+        cluster_scale.ClusterScaleConfig.quick().rps_list
+    )
+    # Formatting never touches the measurements.
+    assert cluster_scale.format_rows(rows).count("\n") == len(rows)
+
+
+def test_seed_changes_the_digest():
+    base = cluster_scale.run(cluster_scale.ClusterScaleConfig.quick(seed=1))
+    other = cluster_scale.run(cluster_scale.ClusterScaleConfig.quick(seed=2))
+    assert results_digest(base) != results_digest(other)
+
+
+def test_federation_audit_clean_after_replicated_run():
+    """After prewarm + push replication, every stored checkpoint must be
+    backed by the pod that stores it — the cross-pod ownership invariant."""
+    router = build_federation(
+        2,
+        porter_config=PorterConfig(),
+        router_config=RouterConfig(replication="push"),
+    )
+    router.register_function("float")
+    router.prewarm("float", home="pod0")
+    while router.queue.peek_time() is not None:
+        router.queue.step()
+    report = audit_federation(router)
+    assert report.clean
+    assert report.pods_audited == 2
+    assert report.checkpoints_checked == 2  # original + pushed replica

@@ -1,0 +1,89 @@
+"""Object-store edge cases: over-asked reclaim, LRU ties, peek vs query."""
+
+import pytest
+
+from repro.porter.objectstore import CheckpointObjectStore
+
+
+class FakeCheckpoint:
+    """Minimal store occupant: sized, deletable, nothing else."""
+
+    def __init__(self, cxl_bytes=4096):
+        self.cxl_bytes = cxl_bytes
+        self.deleted = False
+
+    def delete(self):
+        self.deleted = True
+
+
+@pytest.fixture
+def store(pod):
+    return CheckpointObjectStore(pod.fabric)
+
+
+class TestReclaim:
+    def test_reclaim_more_than_stored_frees_everything(self, store):
+        """Asking for more than the store holds empties it and reports
+        only what was actually freed — never a phantom surplus."""
+        checkpoints = [FakeCheckpoint(1000) for _ in range(3)]
+        for i, ckpt in enumerate(checkpoints):
+            store.put("u", f"fn{i}", ckpt, mechanism="cxlfork", now=i)
+        freed = store.reclaim(10**9)
+        assert freed == 3000
+        assert len(store) == 0
+        assert all(c.deleted for c in checkpoints)
+
+    def test_reclaim_zero_target_frees_nothing(self, store):
+        store.put("u", "fn", FakeCheckpoint(), mechanism="cxlfork")
+        assert store.reclaim(0) == 0
+        assert len(store) == 1
+
+    def test_reclaim_tie_breaks_by_insertion_order(self, store):
+        """Equal ``last_used_at`` must fall back to insertion (CID) order
+        — the sort is stable, so the oldest CID goes first."""
+        first = FakeCheckpoint(1000)
+        second = FakeCheckpoint(1000)
+        store.put("u", "a", first, mechanism="cxlfork", now=7)
+        store.put("u", "b", second, mechanism="cxlfork", now=7)
+        freed = store.reclaim(1)
+        assert freed == 1000
+        assert first.deleted and not second.deleted
+
+    def test_reclaim_spares_recently_queried(self, store):
+        """A query bumps recency, so reclaim eats the other entry."""
+        hot = FakeCheckpoint(1000)
+        cold = FakeCheckpoint(1000)
+        store.put("u", "hot", hot, mechanism="cxlfork", now=1)
+        store.put("u", "cold", cold, mechanism="cxlfork", now=2)
+        store.query("u", "hot", now=50)
+        store.reclaim(1)
+        assert cold.deleted and not hot.deleted
+
+
+class TestEvict:
+    def test_evict_unknown_cid_raises(self, store):
+        with pytest.raises(KeyError):
+            store.evict(999)
+
+    def test_double_evict_raises(self, store):
+        entry = store.put("u", "fn", FakeCheckpoint(), mechanism="cxlfork")
+        store.evict(entry.cid)
+        with pytest.raises(KeyError):
+            store.evict(entry.cid)
+
+
+class TestPeek:
+    def test_peek_does_not_touch_lru_or_restores(self, store):
+        """Replication reads via peek: recency and restore counters must
+        stay exactly as a restore-path query would have left them."""
+        entry = store.put("u", "fn", FakeCheckpoint(), mechanism="cxlfork", now=3)
+        peeked = store.peek("u", "fn")
+        assert peeked is entry
+        assert peeked.last_used_at == 3
+        assert peeked.restores == 0
+        store.query("u", "fn", now=9)
+        assert entry.last_used_at == 9
+        assert entry.restores == 1
+
+    def test_peek_miss_returns_none(self, store):
+        assert store.peek("u", "ghost") is None
