@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig7
     python -m repro run fig10 --fast
     python -m repro run fig7 --check
+    python -m repro run fig7 --jobs 8
     python -m repro trace fig6 [-o trace.json] [--jsonl spans.jsonl]
     python -m repro report [--full] [-o report.md]
     python -m repro bench [--quick] [--update] [fig7 fig3 ...]
@@ -47,6 +48,11 @@ EXPERIMENTS = {
 #: closed-form sweeps with nothing to reseed).
 SEED_AWARE = {"cluster-scale", "failure-sweep", "fig10"}
 
+#: Experiments whose grid runs on the deterministic parallel executor
+#: (``repro.parallel``): ``--jobs N`` shards their sweep points across N
+#: shared-nothing worker processes with bit-identical merged results.
+JOBS_AWARE = {"fig7", "fig10", "failure-sweep", "cluster-scale", "scalability"}
+
 
 def _cmd_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
@@ -56,7 +62,11 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(
-    name: str, fast: bool, check: bool = False, seed: int | None = None
+    name: str,
+    fast: bool,
+    check: bool = False,
+    seed: int | None = None,
+    jobs: int = 1,
 ) -> int:
     if check:
         from repro.check import CHECK
@@ -64,7 +74,7 @@ def _cmd_run(
         CHECK.reset()
         CHECK.enable()
         try:
-            status = _cmd_run(name, fast, check=False, seed=seed)
+            status = _cmd_run(name, fast, check=False, seed=seed, jobs=jobs)
         finally:
             CHECK.disable()
         print(f"\n[check] {CHECK.summary()}")
@@ -80,6 +90,15 @@ def _cmd_run(
               f"(seed-aware: {', '.join(sorted(SEED_AWARE))})",
               file=sys.stderr)
         return 2
+    if jobs != 1 and name not in JOBS_AWARE:
+        print(f"experiment {name!r} does not shard over --jobs "
+              f"(jobs-aware: {', '.join(sorted(JOBS_AWARE))})",
+              file=sys.stderr)
+        return 2
+    if jobs == 0:
+        from repro.parallel import default_jobs
+
+        jobs = default_jobs()
     module_path, _ = entry
     import importlib
 
@@ -90,6 +109,8 @@ def _cmd_run(
         argv = ["--quick"] if fast else []
         if seed is not None:
             argv += ["--seed", str(seed)]
+        if jobs != 1:
+            argv += ["--jobs", str(jobs)]
         return failure_sweep.main(argv)
     if name == "cluster-scale":
         from repro.experiments import cluster_scale
@@ -97,21 +118,26 @@ def _cmd_run(
         argv = ["--quick"] if fast else []
         if seed is not None:
             argv += ["--seed", str(seed)]
+        if jobs != 1:
+            argv += ["--jobs", str(jobs)]
         return cluster_scale.main(argv)
     if name == "fig10":
         from repro.experiments import fig10_porter
 
         if not fast and seed is None:
-            module.main()
+            module.main(jobs=jobs)
             return 0
         config = fig10_porter.Fig10Config(
             **({"total_rps": 80, "duration_s": 8} if fast else {}),
             **({"seed": seed} if seed is not None else {}),
         )
-        rows = fig10_porter.run(config)
+        rows = fig10_porter.run(config, jobs=jobs)
         print(fig10_porter.format_rows([r for r in rows if r.function == "ALL"]))
         for key, value in fig10_porter.summarize(rows).items():
             print(f"{key:>40}: {value:.3f}")
+        return 0
+    if name in JOBS_AWARE:
+        module.main(jobs=jobs)
         return 0
     module.main()
     return 0
@@ -192,6 +218,10 @@ def main(argv=None) -> int:
                                  "oracle + invariant checker")
     run_parser.add_argument("--seed", type=int, default=None,
                             help="trace seed (seed-aware experiments only)")
+    run_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for sweep grids "
+                                 "(0 = one per CPU; results are "
+                                 "bit-identical to --jobs 1)")
     trace_parser = sub.add_parser(
         "trace", help="run one experiment under tracing; export a trace file"
     )
@@ -221,7 +251,9 @@ def main(argv=None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.fast, args.check, args.seed)
+        return _cmd_run(
+            args.experiment, args.fast, args.check, args.seed, args.jobs
+        )
     if args.command == "trace":
         return _cmd_trace(args.experiment, args.fast, args.output, args.jsonl)
     if args.command == "report":

@@ -42,50 +42,57 @@ FIG7_QUICK_FUNCTIONS = ["float", "json"]
 
 @dataclasses.dataclass
 class BenchSpec:
-    """How to run one experiment under the harness."""
+    """How to run one experiment under the harness.
+
+    Runners take the worker-process count (``jobs``); experiments whose
+    grid has been refactored onto :mod:`repro.parallel` fan sweep points
+    out to that many shared-nothing workers, the rest ignore it
+    (``parallel=False``) and always run serially.
+    """
 
     name: str
     description: str
-    run_full: Callable[[], Any]
-    run_quick: Callable[[], Any]
+    run_full: Callable[[int], Any]
+    run_quick: Callable[[int], Any]
+    parallel: bool = True
 
 
-def _fig7_full() -> Any:
+def _fig7_full(jobs: int) -> Any:
     from repro.experiments import fig7_performance
 
-    return fig7_performance.run()
+    return fig7_performance.run(jobs=jobs)
 
 
-def _fig7_quick() -> Any:
+def _fig7_quick(jobs: int) -> Any:
     from repro.experiments import fig7_performance
 
-    return fig7_performance.run(functions=FIG7_QUICK_FUNCTIONS)
+    return fig7_performance.run(functions=FIG7_QUICK_FUNCTIONS, jobs=jobs)
 
 
-def _fig3() -> Any:
+def _fig3(jobs: int) -> Any:  # noqa: ARG001 - single cell, nothing to shard
     from repro.experiments import fig3_motivation
 
     return fig3_motivation.run()
 
 
-def _fig10(total_rps: float, duration_s: float) -> Any:
+def _fig10(total_rps: float, duration_s: float, jobs: int) -> Any:
     from repro.experiments import fig10_porter
 
     config = fig10_porter.Fig10Config(total_rps=total_rps, duration_s=duration_s)
-    return fig10_porter.run(config)
+    return fig10_porter.run(config, jobs=jobs)
 
 
-def _failure_sweep(quick: bool) -> Any:
+def _failure_sweep(quick: bool, jobs: int) -> Any:
     from repro.experiments import failure_sweep
 
-    rows = failure_sweep.run(quick=quick, seed=0)
+    rows = failure_sweep.run(quick=quick, seed=0, jobs=jobs)
     leaked = sum(r.leaked_frames for r in rows)
     if leaked:
         raise RuntimeError(f"failure sweep leaked {leaked} frames")
     return rows
 
 
-def _cluster(quick: bool) -> Any:
+def _cluster(quick: bool, jobs: int) -> Any:
     from repro.experiments import cluster_scale
 
     config = (
@@ -93,7 +100,7 @@ def _cluster(quick: bool) -> Any:
         if quick
         else cluster_scale.ClusterScaleConfig()
     )
-    rows = cluster_scale.run(config)
+    rows = cluster_scale.run(config, jobs=jobs)
     # Digest the summary too: the committed baseline then *records* the
     # federated-vs-single-pod verdict, and any change to it fails bench.
     return {"rows": rows, "summary": cluster_scale.summarize(rows)}
@@ -111,24 +118,25 @@ BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
         description="Fig. 3c motivation (BERT checkpoint scans)",
         run_full=_fig3,
         run_quick=_fig3,
+        parallel=False,
     ),
     "fig10": BenchSpec(
         name="fig10",
         description="Fig. 10 CXLporter (scheduler + invocation engine)",
-        run_full=lambda: _fig10(80.0, 8.0),
-        run_quick=lambda: _fig10(40.0, 4.0),
+        run_full=lambda jobs: _fig10(80.0, 8.0, jobs),
+        run_quick=lambda jobs: _fig10(40.0, 4.0, jobs),
     ),
     "failure-sweep": BenchSpec(
         name="failure-sweep",
         description="Crash-timing sweep (fault injection + leak audit)",
-        run_full=lambda: _failure_sweep(False),
-        run_quick=lambda: _failure_sweep(True),
+        run_full=lambda jobs: _failure_sweep(False, jobs),
+        run_quick=lambda jobs: _failure_sweep(True, jobs),
     ),
     "cluster": BenchSpec(
         name="cluster",
         description="Federated pods vs one naive big pod (router + replication)",
-        run_full=lambda: _cluster(False),
-        run_quick=lambda: _cluster(True),
+        run_full=lambda jobs: _cluster(False, jobs),
+        run_quick=lambda jobs: _cluster(True, jobs),
     ),
 }
 
@@ -166,7 +174,12 @@ def results_digest(result: Any) -> str:
 
 
 def _count_host_calls(fn: Callable[[], Any]) -> tuple[int, Any]:
-    """Run ``fn`` counting Python + C function calls via ``sys.setprofile``."""
+    """Run ``fn`` counting Python + C function calls via ``sys.setprofile``.
+
+    Any profiler that was already installed (coverage tooling, a nesting
+    harness run) is saved and restored afterwards rather than clobbered
+    to ``None``.
+    """
     count = 0
 
     def profiler(frame, event, arg):  # noqa: ARG001 - profile signature
@@ -174,11 +187,12 @@ def _count_host_calls(fn: Callable[[], Any]) -> tuple[int, Any]:
         if event == "call" or event == "c_call":
             count += 1
 
+    previous = sys.getprofile()
     sys.setprofile(profiler)
     try:
         result = fn()
     finally:
-        sys.setprofile(None)
+        sys.setprofile(previous)
     return count, result
 
 
@@ -191,35 +205,58 @@ class BenchResult:
     wall_s: float
     host_calls: Optional[int]
     sim_results_digest: str
+    #: Worker processes used for the timed run (1 = serial reference path).
+    jobs: int = 1
 
     def to_entry(self) -> dict:
         return {
             "wall_s": round(self.wall_s, 3),
             "host_calls": self.host_calls,
             "sim_results_digest": self.sim_results_digest,
+            "jobs": self.jobs,
         }
 
 
-def run_bench(name: str, *, quick: bool = False, count_calls: bool = True) -> BenchResult:
+def run_bench(
+    name: str,
+    *,
+    quick: bool = False,
+    count_calls: bool = True,
+    jobs: int = 1,
+) -> BenchResult:
     """Time one experiment and digest its simulated results.
 
-    The timed run is unprofiled (wall_s measures the real cost); in full
-    mode a second run under a call-counting profiler records ``host_calls``
-    — a noise-free proxy for host work that survives machine changes.
+    The timed run is unprofiled (wall_s measures the real cost) and uses
+    ``jobs`` worker processes for experiments on the parallel executor; in
+    full mode a second, **always-serial** run under a call-counting
+    profiler records ``host_calls`` — a noise-free proxy for host work
+    that survives both machine changes and worker-count changes.  When the
+    timed run was parallel, that serial recount doubles as a
+    parallel-vs-serial digest cross-check: a scheduling-order leak into
+    simulated results is a hard failure, not noise.
     """
     spec = BENCH_EXPERIMENTS[name]
     runner = spec.run_quick if quick else spec.run_full
+    effective_jobs = jobs if spec.parallel else 1
     t0 = time.perf_counter()
-    result = runner()
+    result = runner(effective_jobs)
     wall_s = time.perf_counter() - t0
     digest = results_digest(result)
     host_calls: Optional[int] = None
     if count_calls and not quick:
-        host_calls, recount = _count_host_calls(runner)
+        # host_calls is counted on a serial (jobs=1) run: profiling only
+        # sees the coordinating process, so a parallel count would be a
+        # meaningless fraction of the real work.
+        host_calls, recount = _count_host_calls(lambda: runner(1))
         redigest = results_digest(recount)
         if redigest != digest:
+            flavor = (
+                "parallel vs serial simulated results diverged"
+                if effective_jobs > 1
+                else "non-deterministic simulated results"
+            )
             raise RuntimeError(
-                f"{name}: non-deterministic simulated results "
+                f"{name}: {flavor} "
                 f"({digest[:12]} vs {redigest[:12]}) — the digest guard "
                 "requires runs to be bit-identical"
             )
@@ -229,6 +266,7 @@ def run_bench(name: str, *, quick: bool = False, count_calls: bool = True) -> Be
         wall_s=wall_s,
         host_calls=host_calls,
         sim_results_digest=digest,
+        jobs=effective_jobs,
     )
 
 
@@ -245,7 +283,9 @@ def repo_root() -> Path:
 
 
 def sync_root_copies(
-    names: Optional[list] = None, baseline_dir: Optional[Path] = None
+    names: Optional[list] = None,
+    baseline_dir: Optional[Path] = None,
+    root: Optional[Path] = None,
 ) -> list:
     """Mirror ``benchmarks/baselines/BENCH_*.json`` to repo-root copies.
 
@@ -253,7 +293,7 @@ def sync_root_copies(
     digging into ``benchmarks/`` (and diff noisily in review when they
     change, which is the point).  Only baselines that exist are mirrored.
     """
-    root = repo_root()
+    root = root if root is not None else repo_root()
     written = []
     for name in names if names is not None else sorted(BENCH_EXPERIMENTS):
         source = baseline_path(name, baseline_dir)
@@ -263,6 +303,30 @@ def sync_root_copies(
         target.write_text(source.read_text())
         written.append(target)
     return written
+
+
+def check_root_copies(
+    names: Optional[list] = None,
+    baseline_dir: Optional[Path] = None,
+    root: Optional[Path] = None,
+) -> list:
+    """Return the baselines whose repo-root ``BENCH_*.json`` copy drifted.
+
+    A baseline counts as drifted when its root copy is missing or its
+    bytes differ from ``benchmarks/baselines/``.  CI fails on a non-empty
+    result (the drift guard), so an ``--update`` that forgets
+    :func:`sync_root_copies` cannot land silently.
+    """
+    root = root if root is not None else repo_root()
+    drifted = []
+    for name in names if names is not None else sorted(BENCH_EXPERIMENTS):
+        source = baseline_path(name, baseline_dir)
+        if not source.exists():
+            continue
+        copy = root / source.name
+        if not copy.exists() or copy.read_text() != source.read_text():
+            drifted.append(name)
+    return drifted
 
 
 def baseline_path(name: str, baseline_dir: Optional[Path] = None) -> Path:
@@ -311,7 +375,7 @@ class Comparison:
             return self.baseline.get("quick")
         return {
             k: self.baseline.get(k)
-            for k in ("wall_s", "host_calls", "sim_results_digest")
+            for k in ("wall_s", "host_calls", "sim_results_digest", "jobs")
         }
 
     @property
@@ -341,6 +405,8 @@ class Comparison:
         r = self.result
         entry = self.baseline_entry
         lines = [f"{r.experiment} [{r.mode}]: wall {r.wall_s:.2f}s"]
+        if r.jobs != 1:
+            lines[0] += f" (jobs={r.jobs})"
         if r.host_calls is not None:
             lines[0] += f", {r.host_calls:,} host calls"
         lines[0] += f", digest {r.sim_results_digest[:12]}"
@@ -348,19 +414,29 @@ class Comparison:
             lines.append("  no baseline (run with --update to create one)")
             return "\n".join(lines)
         base_wall = entry.get("wall_s")
-        if base_wall:
-            ratio = r.wall_s / base_wall
+        # Compare explicitly against None: a recorded wall of 0.0 is a
+        # (vacuously strict) guard, not a missing one, and must be shown
+        # with the same verdict wall_ok computes from it.
+        if base_wall is not None:
+            ratio = r.wall_s / base_wall if base_wall else float("inf")
             gate = "" if self.wall_gated else " (report-only)"
             verdict = "ok" if self.wall_ok else f"REGRESSION >{self.tolerance:.0%}"
+            jobs_note = ""
+            base_jobs = entry.get("jobs")
+            if base_jobs is not None and base_jobs != r.jobs:
+                jobs_note = f" (baseline jobs={base_jobs})"
             lines.append(
                 f"  wall vs baseline {base_wall:.2f}s: {ratio:.2f}x "
-                f"[{verdict}]{gate}"
+                f"[{verdict}]{gate}{jobs_note}"
             )
         base_calls = entry.get("host_calls")
-        if base_calls and r.host_calls is not None:
+        if base_calls is not None and r.host_calls is not None:
+            calls_ratio = (
+                r.host_calls / base_calls if base_calls else float("inf")
+            )
             lines.append(
                 f"  host calls vs baseline {base_calls:,}: "
-                f"{r.host_calls / base_calls:.2f}x (report-only)"
+                f"{calls_ratio:.2f}x (report-only)"
             )
         if self.digest_ok:
             lines.append("  digest: match")
@@ -428,6 +504,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         action="store_true",
         help="skip the second, call-counting run in full mode",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the timed run (0 = one per CPU); "
+        "results are bit-identical to --jobs 1 by construction",
+    )
+    parser.add_argument(
+        "--check-sync",
+        action="store_true",
+        help="only check that repo-root BENCH_*.json copies match "
+        "benchmarks/baselines/ (CI drift guard); runs nothing",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or sorted(BENCH_EXPERIMENTS)
@@ -439,21 +528,46 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
         return 2
     baseline_dir = Path(args.baseline_dir) if args.baseline_dir else None
+    if args.jobs < 0:
+        print("--jobs must be >= 0", file=sys.stderr)
+        return 2
+    jobs = args.jobs
+    if jobs == 0:
+        from repro.parallel import default_jobs
+
+        jobs = default_jobs()
+
+    if args.check_sync:
+        drifted = check_root_copies(names, baseline_dir)
+        if drifted:
+            print(
+                f"repo-root BENCH copies drifted from benchmarks/baselines/: "
+                f"{drifted} — rerun `python -m repro bench --update` or "
+                "repro.bench.sync_root_copies()",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"repo-root BENCH copies in sync ({len(names)} checked)")
+        return 0
 
     if args.update:
         for name in names:
-            full = run_bench(name, quick=False, count_calls=not args.no_calls)
-            quick = run_bench(name, quick=True)
+            full = run_bench(
+                name, quick=False, count_calls=not args.no_calls, jobs=jobs
+            )
+            quick = run_bench(name, quick=True, jobs=jobs)
             path = write_baseline(name, full, quick, baseline_dir)
             print(f"{name}: wrote {path} (wall {full.wall_s:.2f}s, "
-                  f"digest {full.sim_results_digest[:12]})")
+                  f"jobs {full.jobs}, digest {full.sim_results_digest[:12]})")
         for copy in sync_root_copies(names, baseline_dir):
             print(f"synced repo-root copy {copy.name}")
         return 0
 
     failed = False
     for name in names:
-        result = run_bench(name, quick=args.quick, count_calls=not args.no_calls)
+        result = run_bench(
+            name, quick=args.quick, count_calls=not args.no_calls, jobs=jobs
+        )
         comparison = compare_to_baseline(
             result, tolerance=args.tolerance, baseline_dir=baseline_dir
         )
@@ -468,6 +582,7 @@ __all__ = [
     "BenchResult",
     "BenchSpec",
     "Comparison",
+    "check_root_copies",
     "compare_to_baseline",
     "default_baseline_dir",
     "load_baseline",

@@ -87,8 +87,8 @@ def _cxlfork_wire(ckpt: CxlForkCheckpoint) -> dict:
         leaves.append(
             {
                 "index": int(leaf_index),
-                "pos": [int(p) for p in positions],
-                "flags": [int(f) for f in (leaf.ptes[positions] & flag_mask)],
+                "pos": positions.tolist(),
+                "flags": (leaf.ptes[positions] & flag_mask).tolist(),
             }
         )
     vma_leaves = []
@@ -286,6 +286,7 @@ class ReplicationStats:
     ships: int = 0
     bytes_shipped: int = 0
     dedup_hits: int = 0
+    encode_cache_hits: int = 0
     failed: int = 0
 
 
@@ -311,6 +312,26 @@ class Replicator:
         self.codec = codec or Codec()
         self.stats = ReplicationStats()
         self._inflight: dict[tuple, _InFlight] = {}
+        # Encoded-blob cache: the wire image is canonical content (see the
+        # module docstring), so pushing one checkpoint to N pods can encode
+        # once and reuse the bytes.  Keyed by object identity with a strong
+        # reference held, so a re-checkpoint (a new object) never matches a
+        # stale entry.  Decoding stays per-ship: materialize() stores parts
+        # of the wire dict by reference into the destination heap.
+        self._blob_cache: dict[int, tuple[object, bytes]] = {}
+
+    _BLOB_CACHE_MAX = 8
+
+    def _encoded_blob(self, checkpoint) -> bytes:
+        cached = self._blob_cache.get(id(checkpoint))
+        if cached is not None and cached[0] is checkpoint:
+            self.stats.encode_cache_hits += 1
+            return cached[1]
+        blob = self.codec.encode(wire_image(checkpoint))
+        if len(self._blob_cache) >= self._BLOB_CACHE_MAX:
+            self._blob_cache.pop(next(iter(self._blob_cache)))
+        self._blob_cache[id(checkpoint)] = (checkpoint, blob)
+        return blob
 
     def ship(
         self,
@@ -342,7 +363,7 @@ class Replicator:
             )
         # Encode now: once the bytes are on the wire, a source-pod crash
         # cannot lose the transfer (mitosis-style ship, not remote paging).
-        blob = self.codec.encode(wire_image(entry.checkpoint))
+        blob = self._encoded_blob(entry.checkpoint)
         nbytes = shipped_bytes(entry.checkpoint, blob)
         delay = self.interconnect.transfer_ns(
             src.name, dst.name, nbytes, now=self.queue.now

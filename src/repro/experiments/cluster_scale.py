@@ -35,6 +35,7 @@ from repro.cxl.bandwidth import BandwidthTracker
 from repro.cxl.topology import PodTopology
 from repro.faas.traces import TraceConfig, generate_trace
 from repro.os.fs.cxlfs import CxlFileSystem
+from repro.parallel import SweepPoint, run_points
 from repro.porter.autoscaler import CxlPorter, PorterConfig
 from repro.sim.units import GIB
 
@@ -225,13 +226,28 @@ def run_single_pod(config: ClusterScaleConfig, rps: float) -> ClusterScaleRow:
     return _row_from(metrics, arm="single-pod", config=config, rps=rps)
 
 
-def run(config: Optional[ClusterScaleConfig] = None) -> list:
+def points(config: ClusterScaleConfig) -> list:
+    """The RPS × arm grid as self-contained points (serial row order:
+    single-pod then federated at each RPS, ascending RPS)."""
+    return [
+        SweepPoint.make("cluster-scale", arm=arm, rps=rps, config=config)
+        for rps in config.rps_list
+        for arm in ("single-pod", "federated")
+    ]
+
+
+def run_point(point: SweepPoint) -> ClusterScaleRow:
+    """One (arm, RPS) campaign on freshly built pods (picklable worker)."""
+    config = point.param("config")
+    rps = point.param("rps")
+    if point.param("arm") == "single-pod":
+        return run_single_pod(config, rps)
+    return run_federated(config, rps)
+
+
+def run(config: Optional[ClusterScaleConfig] = None, *, jobs: int = 1) -> list:
     config = config or ClusterScaleConfig()
-    rows: list[ClusterScaleRow] = []
-    for rps in config.rps_list:
-        rows.append(run_single_pod(config, rps))
-        rows.append(run_federated(config, rps))
-    return rows
+    return run_points(points(config), run_point, jobs=jobs)
 
 
 def summarize(rows: list) -> dict:
@@ -296,6 +312,8 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--pods", type=int, default=None, help="override the pod count"
     )
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical to 1)")
     args = parser.parse_args(argv)
 
     config = (
@@ -305,7 +323,7 @@ def main(argv: Optional[list] = None) -> int:
     )
     if args.pods is not None:
         config.pod_count = args.pods
-    rows = run(config)
+    rows = run(config, jobs=args.jobs)
     print(format_rows(rows))
     print()
     for key, value in summarize(rows).items():

@@ -38,6 +38,7 @@ from typing import Optional
 from repro.experiments.common import Pod, PreparedParent, make_pod, prepare_parent
 from repro.faults import FaultInjector, InjectedCrash, audit_pod
 from repro.os.kernel import NodeFailedError
+from repro.parallel import SweepPoint, run_points
 from repro.rfork.registry import get_mechanism
 from repro.sim.units import MS
 
@@ -74,6 +75,20 @@ def _setup(mech_name: str, function: str):
     parent_a = prepare_parent(pod, function, node=pod.source)
     ckpt_a, _ = mech.checkpoint(parent_a.instance.task)
     return pod, mech, parent_a, ckpt_a
+
+
+#: Per-process memo for :func:`_operation_duration_ns`.  The duration is a
+#: pure, deterministic function of its key, so memoizing keeps the serial
+#: path at one dry run per (mechanism, stage) while letting each parallel
+#: worker derive it independently — no cross-process coordination needed.
+_DURATION_CACHE: dict = {}
+
+
+def _operation_duration_ns_cached(mech_name: str, stage: str, function: str) -> int:
+    key = (mech_name, stage, function)
+    if key not in _DURATION_CACHE:
+        _DURATION_CACHE[key] = _operation_duration_ns(mech_name, stage, function)
+    return _DURATION_CACHE[key]
 
 
 def _operation_duration_ns(mech_name: str, stage: str, function: str) -> int:
@@ -183,28 +198,65 @@ def _run_cell(
     )
 
 
-def run(
+def points(
     function: str = "json",
     *,
     quick: bool = False,
     seed: int = 0,
     fractions: Optional[tuple] = None,
 ) -> list:
-    """The full sweep: mechanisms x lifecycle stages x crash fractions."""
+    """The sweep grid (mechanisms × stages × crash fractions) as points."""
     if fractions is None:
         fractions = QUICK_FRACTIONS if quick else FULL_FRACTIONS
-    rows: list[SweepRow] = []
+    grid = []
     for mech_name in MECHANISMS:
         for stage in STAGES:
             cell_fractions = (0.0,) if stage == "between" else fractions
-            duration_ns = _operation_duration_ns(mech_name, stage, function)
             for fraction in cell_fractions:
-                rows.append(
-                    _run_cell(
-                        mech_name, stage, fraction, duration_ns, function, seed
+                grid.append(
+                    SweepPoint.make(
+                        "failure-sweep",
+                        mechanism=mech_name,
+                        stage=stage,
+                        fraction=fraction,
+                        function=function,
+                        seed=seed,
                     )
                 )
-    return rows
+    return grid
+
+
+def run_point(point: SweepPoint) -> SweepRow:
+    """One crash-timing cell on a fresh pod (top-level and picklable).
+
+    The crashed operation's virtual duration is re-derived from the spec
+    (memoized per process), so the cell needs nothing beyond the point.
+    """
+    mech_name = point.param("mechanism")
+    stage = point.param("stage")
+    function = point.param("function")
+    duration_ns = _operation_duration_ns_cached(mech_name, stage, function)
+    return _run_cell(
+        mech_name,
+        stage,
+        point.param("fraction"),
+        duration_ns,
+        function,
+        point.param("seed"),
+    )
+
+
+def run(
+    function: str = "json",
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    fractions: Optional[tuple] = None,
+    jobs: int = 1,
+) -> list:
+    """The full sweep: mechanisms x lifecycle stages x crash fractions."""
+    grid = points(function, quick=quick, seed=seed, fractions=fractions)
+    return run_points(grid, run_point, jobs=jobs)
 
 
 def survival_rate(rows: list, mechanism: str) -> float:
@@ -244,8 +296,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="fewer crash fractions (CI smoke)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical to 1)")
     args = parser.parse_args(argv)
-    rows = run(args.function, quick=args.quick, seed=args.seed)
+    rows = run(args.function, quick=args.quick, seed=args.seed, jobs=args.jobs)
     print(format_rows(rows))
     leaked = sum(r.leaked_frames for r in rows)
     if leaked:

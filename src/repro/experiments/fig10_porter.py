@@ -23,6 +23,7 @@ from repro.cxl.topology import PodTopology
 from repro.faas.functions import function_names
 from repro.faas.traces import TraceConfig, generate_trace
 from repro.os.fs.cxlfs import CxlFileSystem
+from repro.parallel import SweepPoint, run_points_flat
 from repro.porter.autoscaler import CxlPorter, PorterConfig
 from repro.sim.units import GIB
 
@@ -127,13 +128,31 @@ def run_arm(
     return rows
 
 
-def run(config: Optional[Fig10Config] = None, arms=ARMS) -> list:
+def points(config: Fig10Config, arms=ARMS) -> list:
+    """The Fig. 10 grid (memory levels × arms) as self-contained points.
+
+    The frozen campaign config rides inside each point, so a worker can
+    rebuild the whole pod + trace from the spec alone.
+    """
+    return [
+        SweepPoint.make("fig10", arm=arm, memory_fraction=fraction, config=config)
+        for fraction in config.memory_fractions
+        for arm in arms
+    ]
+
+
+def run_point(point: SweepPoint) -> list:
+    """One (arm, memory level) campaign; returns its per-function rows."""
+    return run_arm(
+        point.param("arm"),
+        point.param("config"),
+        point.param("memory_fraction"),
+    )
+
+
+def run(config: Optional[Fig10Config] = None, arms=ARMS, *, jobs: int = 1) -> list:
     config = config or Fig10Config()
-    rows: list[Fig10Row] = []
-    for fraction in config.memory_fractions:
-        for arm in arms:
-            rows.extend(run_arm(arm, config, fraction))
-    return rows
+    return run_points_flat(points(config, arms), run_point, jobs=jobs)
 
 
 def summarize(rows: list) -> dict:
@@ -167,9 +186,9 @@ def format_rows(rows: list) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
+def main(jobs: int = 1) -> None:  # pragma: no cover - CLI convenience
     config = Fig10Config(memory_fractions=(1.0, 0.5, 0.25))
-    rows = run(config)
+    rows = run(config, jobs=jobs)
     print(format_rows([r for r in rows if r.function == "ALL"]))
     print()
     for key, value in summarize(rows).items():

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     prepare_parent,
 )
 from repro.faas.functions import function_names
+from repro.parallel import SweepPoint, run_points
 from repro.sim.units import MS
 
 #: Mechanisms shown in Fig. 7, in plot order.
@@ -39,27 +40,46 @@ class Fig7Row:
     local_mb: float
 
 
-def run(functions: Optional[list] = None, mechanisms=FIG7_MECHANISMS) -> list:
-    """Produce all Fig. 7 rows."""
-    rows: list[Fig7Row] = []
+def points(
+    functions: Optional[list] = None, mechanisms=FIG7_MECHANISMS
+) -> list:
+    """The Fig. 7 grid (functions × mechanisms) as self-contained points."""
     names = functions if functions is not None else function_names()
-    for fn in names:
-        for mech in mechanisms:
-            pod = make_pod()
-            parent = prepare_parent(pod, fn)
-            m = measure_cold_start(pod, parent, mech)
-            rows.append(
-                Fig7Row(
-                    function=m.function,
-                    mechanism=m.mechanism,
-                    restore_ms=m.restore_ns / MS,
-                    fault_ms=m.fault_ns / MS,
-                    exec_ms=m.exec_ns / MS,
-                    total_ms=m.total_ns / MS,
-                    local_mb=m.local_mb,
-                )
-            )
-    return rows
+    return [
+        SweepPoint.make("fig7", function=fn, mechanism=mech)
+        for fn in names
+        for mech in mechanisms
+    ]
+
+
+def run_point(point: SweepPoint) -> Fig7Row:
+    """One (function, mechanism) cell on a fresh two-node pod.
+
+    Top-level and picklable: :func:`repro.parallel.run_points` ships it to
+    shared-nothing worker processes when ``jobs > 1``.
+    """
+    pod = make_pod()
+    parent = prepare_parent(pod, point.param("function"))
+    m = measure_cold_start(pod, parent, point.param("mechanism"))
+    return Fig7Row(
+        function=m.function,
+        mechanism=m.mechanism,
+        restore_ms=m.restore_ns / MS,
+        fault_ms=m.fault_ns / MS,
+        exec_ms=m.exec_ns / MS,
+        total_ms=m.total_ns / MS,
+        local_mb=m.local_mb,
+    )
+
+
+def run(
+    functions: Optional[list] = None,
+    mechanisms=FIG7_MECHANISMS,
+    *,
+    jobs: int = 1,
+) -> list:
+    """Produce all Fig. 7 rows (bit-identical for every ``jobs``)."""
+    return run_points(points(functions, mechanisms), run_point, jobs=jobs)
 
 
 def summarize(rows: list) -> dict:
@@ -137,8 +157,8 @@ def chart(rows: list) -> str:
     return ascii_bar_chart(groups, unit=" ms")
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    rows = run()
+def main(jobs: int = 1) -> None:  # pragma: no cover - CLI convenience
+    rows = run(jobs=jobs)
     print(format_rows(rows))
     print()
     print(chart(rows))

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.cxl.bandwidth import BandwidthTracker
 from repro.cxl.topology import PodTopology
 from repro.faas.workload import FunctionWorkload
+from repro.parallel import SweepPoint, run_points
 from repro.rfork.cxlfork import CxlFork
 from repro.sim.units import GIB, MS
 from repro.tiering.bandwidth_aware import BandwidthAwareTiering
@@ -103,17 +104,40 @@ def run_point(
     )
 
 
-def run(
+def points(
     node_counts=(2, 4, 8, 16),
     policies=("mow", "bandwidth-aware"),
     *,
     function: str = "bert",
 ) -> list:
+    """The policies × node-count grid as self-contained sweep points."""
     return [
-        run_point(policy, count, function=function)
+        SweepPoint.make(
+            "scalability", policy=policy, node_count=count, function=function
+        )
         for policy in policies
         for count in node_counts
     ]
+
+
+def run_sweep_point(point: SweepPoint) -> ScalabilityRow:
+    """Picklable adapter from a :class:`SweepPoint` to :func:`run_point`."""
+    return run_point(
+        point.param("policy"),
+        point.param("node_count"),
+        function=point.param("function"),
+    )
+
+
+def run(
+    node_counts=(2, 4, 8, 16),
+    policies=("mow", "bandwidth-aware"),
+    *,
+    function: str = "bert",
+    jobs: int = 1,
+) -> list:
+    grid = points(node_counts, policies, function=function)
+    return run_points(grid, run_sweep_point, jobs=jobs)
 
 
 def summarize(rows: list) -> dict:
@@ -143,8 +167,8 @@ def format_rows(rows: list) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    rows = run()
+def main(jobs: int = 1) -> None:  # pragma: no cover - CLI convenience
+    rows = run(jobs=jobs)
     print(format_rows(rows))
     print()
     for key, value in summarize(rows).items():

@@ -1,0 +1,104 @@
+"""Self-contained sweep points: the unit of deterministic fan-out.
+
+Every experiment in the repro is an embarrassingly-parallel grid —
+functions × mechanisms (fig7), arms × RPS (fig10 / cluster-scale),
+mechanisms × crash timings (failure-sweep), policies × node counts
+(scalability).  A :class:`SweepPoint` captures ONE cell of such a grid as
+pure arguments: everything a worker needs to rebuild the cell's pod from
+scratch, and nothing it could accidentally share with a sibling.
+
+Two properties make points safe to scatter across processes:
+
+* **Self-containment** — the point carries only picklable spec values
+  (names, numbers, frozen config dataclasses).  The worker builds its own
+  pod, fabric, and RNGs; no live simulator object ever crosses a process
+  boundary.
+* **Canonical identity** — :attr:`SweepPoint.canonical_key` is a stable
+  JSON encoding of the experiment name and sorted parameters.  Anything a
+  point derives pseudo-randomly MUST come from this key (via
+  :func:`derive_seed` / :meth:`SweepPoint.derive_seed`), never from worker
+  identity, submission index, or completion order — that is what makes a
+  ``--jobs 8`` run bit-identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from hashlib import sha256
+from typing import Any, Tuple
+
+_MISSING = object()
+
+
+def canonical_params(obj: Any) -> Any:
+    """JSON-stable view of a parameter value (dataclasses, enums, numpy)."""
+    from repro.bench import _canonical
+
+    return _canonical(obj)
+
+
+def derive_seed(key: str, base: int = 0, *, bits: int = 63) -> int:
+    """Derive a point-local RNG seed from a canonical key.
+
+    The derivation is a pure function of ``(base, key)`` — independent of
+    process identity, submission order, and completion order — so a worker
+    pool produces the same streams as a serial loop no matter how the grid
+    is sharded.  ``bits`` bounds the result (default 63: any numpy seed).
+    """
+    if bits < 1 or bits > 256:
+        raise ValueError(f"bits must be in [1, 256], got {bits}")
+    digest = sha256(f"{base}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") >> (256 - bits)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One cell of an experiment grid, as a pure-argument spec.
+
+    ``params`` is a tuple of sorted ``(name, value)`` pairs so two points
+    built from the same keyword arguments compare (and encode) equal
+    regardless of keyword order.
+    """
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, experiment: str, **params: Any) -> "SweepPoint":
+        return cls(experiment=experiment, params=tuple(sorted(params.items())))
+
+    def param(self, name: str, default: Any = _MISSING) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is _MISSING:
+            raise KeyError(
+                f"point {self.experiment!r} has no parameter {name!r} "
+                f"(has: {[k for k, _ in self.params]})"
+            )
+        return default
+
+    @property
+    def canonical_key(self) -> str:
+        """Stable JSON identity: experiment name + canonicalized params."""
+        return json.dumps(
+            [self.experiment, canonical_params(dict(self.params))],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def derive_seed(self, base: int = 0, *, bits: int = 63) -> int:
+        """Point-local seed: a pure function of ``(base, canonical_key)``."""
+        return derive_seed(self.canonical_key, base, bits=bits)
+
+    def label(self) -> str:
+        """Short human-readable tag for logs and error messages."""
+        parts = ",".join(
+            f"{k}={v}" for k, v in self.params
+            if isinstance(v, (str, int, float, bool))
+        )
+        return f"{self.experiment}[{parts}]"
+
+
+__all__ = ["SweepPoint", "canonical_params", "derive_seed"]

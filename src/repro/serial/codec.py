@@ -84,18 +84,33 @@ def _encode_value(value: Any, out: bytearray) -> None:
     elif isinstance(value, (list, tuple)):
         out.append(_T_LIST)
         _encode_varint(len(value), out)
+        # Inline the int case: wire images are dominated by long lists of
+        # small non-negative ints (PTE positions/flags), and a call into
+        # _encode_value per element doubles the encode cost.  type() is
+        # deliberate — bool is an int subclass but has its own tag.
+        append = out.append
         for item in value:
-            _encode_value(item, out)
+            if type(item) is int and 0 <= item < 0x80:
+                append(_T_INT)
+                append(item)
+            else:
+                _encode_value(item, out)
     elif isinstance(value, dict):
         out.append(_T_DICT)
         _encode_varint(len(value), out)
+        append = out.append
         for key in value:
             if not isinstance(key, str):
                 raise TypeError(f"dict keys must be str, got {type(key).__name__}")
             raw = key.encode("utf-8")
             _encode_varint(len(raw), out)
             out.extend(raw)
-            _encode_value(value[key], out)
+            item = value[key]
+            if type(item) is int and 0 <= item < 0x80:
+                append(_T_INT)
+                append(item)
+            else:
+                _encode_value(item, out)
     else:
         raise TypeError(f"cannot encode {type(value).__name__}")
 
@@ -125,9 +140,18 @@ def _decode_value(data: bytes, pos: int) -> tuple[Any, int]:
     if tag == _T_LIST:
         length, pos = _decode_varint(data, pos)
         items = []
+        append = items.append
+        end = len(data)
+        # Mirror of the encode fast path: single-byte varint ints decoded
+        # inline; everything else (including truncation at the buffer end)
+        # falls through to the generic decoder.
         for _ in range(length):
-            item, pos = _decode_value(data, pos)
-            items.append(item)
+            if pos + 1 < end and data[pos] == _T_INT and data[pos + 1] < 0x80:
+                append(data[pos + 1])
+                pos += 2
+            else:
+                item, pos = _decode_value(data, pos)
+                append(item)
         return items, pos
     if tag == _T_DICT:
         length, pos = _decode_varint(data, pos)

@@ -149,6 +149,109 @@ class TestDeterminism:
         assert harness.sim_results_digest == baseline["quick"]["sim_results_digest"]
 
 
+class TestComparisonEdgeCases:
+    """Baseline wall_s of 0.0 is a real (strict) guard, not a missing one."""
+
+    def _full(self, wall: float) -> BenchResult:
+        return BenchResult(
+            experiment="fig7", mode="full", wall_s=wall,
+            host_calls=123, sim_results_digest="d" * 64,
+        )
+
+    def _comparison(self, wall: float, base: dict) -> bench.Comparison:
+        baseline = {"experiment": "fig7", "sim_results_digest": "d" * 64}
+        baseline.update(base)
+        return bench.Comparison(
+            result=self._full(wall), baseline=baseline, tolerance=0.5
+        )
+
+    def test_zero_wall_baseline_gates(self):
+        comparison = self._comparison(5.0, {"wall_s": 0.0})
+        assert not comparison.wall_ok
+        assert not comparison.ok
+
+    def test_zero_wall_baseline_shown_in_describe(self):
+        text = self._comparison(5.0, {"wall_s": 0.0, "host_calls": 0}).describe()
+        assert "wall vs baseline 0.00s" in text
+        assert "REGRESSION" in text
+        assert "host calls vs baseline 0" in text  # no silent skip, no crash
+
+    def test_missing_wall_baseline_is_unguarded(self):
+        comparison = self._comparison(5.0, {})
+        assert comparison.wall_ok
+        assert "wall vs baseline" not in comparison.describe()
+
+    def test_describe_notes_jobs_mismatch(self):
+        comparison = bench.Comparison(
+            result=BenchResult(
+                experiment="fig7", mode="full", wall_s=2.0, host_calls=None,
+                sim_results_digest="d" * 64, jobs=8,
+            ),
+            baseline={"wall_s": 5.0, "sim_results_digest": "d" * 64, "jobs": 1},
+            tolerance=0.5,
+        )
+        text = comparison.describe()
+        assert "(jobs=8)" in text
+        assert "baseline jobs=1" in text
+
+
+class TestHostCallCounter:
+    def test_restores_preexisting_profiler(self):
+        import sys
+
+        events = []
+
+        def outer_profiler(frame, event, arg):  # noqa: ARG001
+            events.append(event)
+
+        sys.setprofile(outer_profiler)
+        try:
+            count, result = bench._count_host_calls(lambda: sum(range(10)))
+            assert sys.getprofile() is outer_profiler
+        finally:
+            sys.setprofile(None)
+        assert result == 45
+        assert count > 0
+
+    def test_restores_none_when_no_profiler(self):
+        import sys
+
+        bench._count_host_calls(lambda: None)
+        assert sys.getprofile() is None
+
+
+class TestJobsField:
+    def test_to_entry_records_jobs(self):
+        result = BenchResult(
+            experiment="fig7", mode="full", wall_s=1.0, host_calls=1,
+            sim_results_digest="d" * 64, jobs=4,
+        )
+        assert result.to_entry()["jobs"] == 4
+
+    def test_write_baseline_records_jobs(self, tmp_path):
+        full = BenchResult(
+            experiment="fig7", mode="full", wall_s=1.0, host_calls=1,
+            sim_results_digest="d" * 64, jobs=8,
+        )
+        quick = BenchResult(
+            experiment="fig7", mode="quick", wall_s=0.1, host_calls=None,
+            sim_results_digest="e" * 64,
+        )
+        payload = json.loads(
+            write_baseline("fig7", full, quick, tmp_path).read_text()
+        )
+        assert payload["jobs"] == 8
+        assert payload["quick"]["jobs"] == 1
+
+    def test_quick_parallel_run_matches_committed_digest(self):
+        """run_bench with jobs>1 must reproduce the serial baseline digest
+        (the contract CI's parallel-smoke job gates on)."""
+        harness = run_bench("fig7", quick=True, jobs=2)
+        assert harness.jobs == 2
+        baseline = load_baseline("fig7")
+        assert harness.sim_results_digest == baseline["quick"]["sim_results_digest"]
+
+
 class TestBenchRegistry:
     def test_all_baselined_experiments_registered(self):
         assert {"fig7", "fig3", "fig10"} <= set(BENCH_EXPERIMENTS)

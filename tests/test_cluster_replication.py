@@ -86,6 +86,41 @@ class TestShipPolicies:
         # Both waiters see the same landed entry, paid for once.
         assert done[0] is done[1]
 
+    def test_push_fanout_encodes_once(self):
+        """Pushing one checkpoint to N pods reuses the encoded blob: the
+        wire image is canonical content, so the bytes cannot differ per
+        destination (and re-encoding them N times is pure host waste)."""
+        router, pods = federation(pod_count=3)
+        pods[0].porter.prewarm_and_checkpoint("float")
+        router.replicator.ship("float", pods[0], pods[1])
+        router.replicator.ship("float", pods[0], pods[2])
+        drain(router.queue)
+        stats = router.replicator.stats
+        assert stats.ships == 2
+        assert stats.encode_cache_hits == 1
+        # Cache reuse must not change what lands: both replicas re-encode
+        # bit-identical to the original.
+        original = encode_image(pods[0].store.peek("tenant0", "float").checkpoint)
+        for dst in pods[1:]:
+            landed = dst.store.peek("tenant0", "float").checkpoint
+            assert encode_image(landed) == original
+
+    def test_recheckpoint_misses_blob_cache(self):
+        """A new checkpoint object for the same function must not reuse
+        the previous image's cached bytes."""
+        router, (src, dst) = federation()
+        src.porter.prewarm_and_checkpoint("float")
+        first = src.store.peek("tenant0", "float").checkpoint
+        router.replicator.ship("float", src, dst)
+        drain(router.queue)
+
+        src.porter.prewarm_and_checkpoint("float")
+        second = src.store.peek("tenant0", "float").checkpoint
+        blob = router.replicator._encoded_blob(second)
+        if second is not first:
+            assert router.replicator.stats.encode_cache_hits == 0
+        assert blob == encode_image(second)
+
     def test_destination_death_in_flight_loses_replica(self):
         router, (src, dst) = federation()
         src.porter.prewarm_and_checkpoint("float")
