@@ -34,6 +34,10 @@ EXPERIMENTS = {
         "repro.experiments.failure_sweep",
         "Extension: crash-timing sweep (survival, recovery, leak audit)",
     ),
+    "corruption-sweep": (
+        "repro.experiments.corruption_sweep",
+        "Extension: RAS poison sweep (detection, repair ladder, wrong-bytes)",
+    ),
     "scalability": ("repro.experiments.scalability", "Extension: bandwidth scaling"),
     "keepalive": ("repro.experiments.keepalive_study", "Extension: keep-alive sweep"),
     "density": ("repro.experiments.density", "Extension: instances per memory budget"),
@@ -46,12 +50,15 @@ EXPERIMENTS = {
 
 #: Experiments whose CLI accepts ``--seed`` (the rest are deterministic
 #: closed-form sweeps with nothing to reseed).
-SEED_AWARE = {"cluster-scale", "failure-sweep", "fig10"}
+SEED_AWARE = {"cluster-scale", "corruption-sweep", "failure-sweep", "fig10"}
 
 #: Experiments whose grid runs on the deterministic parallel executor
 #: (``repro.parallel``): ``--jobs N`` shards their sweep points across N
 #: shared-nothing worker processes with bit-identical merged results.
-JOBS_AWARE = {"fig7", "fig10", "failure-sweep", "cluster-scale", "scalability"}
+JOBS_AWARE = {
+    "fig7", "fig10", "failure-sweep", "corruption-sweep", "cluster-scale",
+    "scalability",
+}
 
 
 def _cmd_list() -> int:
@@ -112,6 +119,15 @@ def _cmd_run(
         if jobs != 1:
             argv += ["--jobs", str(jobs)]
         return failure_sweep.main(argv)
+    if name == "corruption-sweep":
+        from repro.experiments import corruption_sweep
+
+        argv = ["--quick"] if fast else []
+        if seed is not None:
+            argv += ["--seed", str(seed)]
+        if jobs != 1:
+            argv += ["--jobs", str(jobs)]
+        return corruption_sweep.main(argv)
     if name == "cluster-scale":
         from repro.experiments import cluster_scale
 

@@ -30,7 +30,35 @@ def format_phase_breakdown(tracer=None, *, names=None) -> str:
     breakdown = Breakdown.from_tracer(tracer, names=names)
     if not breakdown.groups:
         return "(no spans recorded — was tracing enabled?)"
-    return breakdown.format_table()
+    table = breakdown.format_table()
+    ras = format_ras_counters(tracer)
+    if ras:
+        table = f"{table}\n\n{ras}"
+    return table
+
+
+def format_ras_counters(tracer=None) -> str:
+    """Memory-integrity tally for a traced run (empty when RAS never ran).
+
+    Surfaces the ``ras.*`` counters — poison injected/detected, repairs by
+    ladder rung, frames offlined, scrub traffic — next to the phase
+    breakdown, so a traced corruption run shows *what the RAS layer did*
+    alongside where the nanoseconds went.
+    """
+    from repro.telemetry import get_tracer
+
+    tracer = tracer if tracer is not None else get_tracer()
+    counters = [
+        c for name, c in sorted(tracer.metrics.counters.items())
+        if name.startswith("ras.") and c.value
+    ]
+    if not counters:
+        return ""
+    lines = ["memory integrity (RAS counters)"]
+    lines.append(f"  {'counter':<28} {'value':>12}")
+    for counter in counters:
+        lines.append(f"  {counter.name:<28} {int(counter.value):>12}")
+    return "\n".join(lines)
 
 
 def generate_report(

@@ -92,6 +92,21 @@ def _failure_sweep(quick: bool, jobs: int) -> Any:
     return rows
 
 
+def _corruption(quick: bool, jobs: int) -> Any:
+    from repro.experiments import corruption_sweep
+
+    rows = corruption_sweep.run(quick=quick, seed=0, jobs=jobs)
+    leaked = sum(r.leaked_frames for r in rows)
+    if leaked:
+        raise RuntimeError(f"corruption sweep leaked {leaked} frames")
+    wrong_on = sum(r.wrong_bytes for r in rows if r.checksums)
+    if wrong_on:
+        raise RuntimeError(
+            f"corruption sweep served {wrong_on} corrupt bytes with checksums on"
+        )
+    return rows
+
+
 def _cluster(quick: bool, jobs: int) -> Any:
     from repro.experiments import cluster_scale
 
@@ -131,6 +146,12 @@ BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
         description="Crash-timing sweep (fault injection + leak audit)",
         run_full=lambda jobs: _failure_sweep(False, jobs),
         run_quick=lambda jobs: _failure_sweep(True, jobs),
+    ),
+    "corruption": BenchSpec(
+        name="corruption",
+        description="RAS poison sweep (checksums, repair ladder, containment)",
+        run_full=lambda jobs: _corruption(False, jobs),
+        run_quick=lambda jobs: _corruption(True, jobs),
     ),
     "cluster": BenchSpec(
         name="cluster",

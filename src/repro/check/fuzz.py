@@ -51,6 +51,7 @@ import numpy as np
 from repro.check import CHECK, CheckFailure
 from repro.check.invariants import check_pod
 from repro.check.oracle import DifferentialOracle, diff_views, resolve_view
+from repro.exceptions import PoisonError
 from repro.experiments.common import Pod, make_pod
 from repro.rfork.registry import get_mechanism
 from repro.sim.units import GIB
@@ -476,6 +477,14 @@ def main(argv=None) -> int:
             result = run_scenario(seed, steps=args.steps, mechanisms=mechanisms)
         except CheckFailure as failure:
             print(f"seed {seed}: FAILED\n{failure}", file=sys.stderr)
+            status = 1
+            break
+        except PoisonError as poison:
+            # The RAS checksum detector firing is also a caught bug: the
+            # flip-frame-byte mutation surfaces here, not as an oracle
+            # divergence (the corrupt image is refused before it serves).
+            print(f"seed {seed}: FAILED (poison detected)\n{poison}",
+                  file=sys.stderr)
             status = 1
             break
         total_steps += result.steps

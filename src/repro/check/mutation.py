@@ -16,6 +16,14 @@ Known mutations:
     instead of CoW-ing local) — exactly the class of PTE-encoding bug the
     oracle exists to catch, and invisible to every latency metric.
 
+``flip-frame-byte``
+    :meth:`repro.rfork.cxlfork.CxlFork.checkpoint` corrupts one
+    checkpointed data frame immediately *after* the checksum seal (the
+    pool marks it poisoned).  Without the RAS checksum verification at
+    restore the child would silently serve the corrupt byte; with it,
+    the first restore raises :class:`repro.exceptions.PoisonError` —
+    proving the detector actually fires.
+
 Enable with e.g. ``REPRO_CHECK_MUTATION=drop-ckpt-cow python -m repro check``.
 """
 
@@ -28,6 +36,8 @@ ENV_VAR = "REPRO_CHECK_MUTATION"
 #: Mutation name -> description, for ``python -m repro check --list-mutations``.
 KNOWN = {
     "drop-ckpt-cow": "cxlfork checkpoint PTEs lose the COW bit (child writes no-op)",
+    "flip-frame-byte": "one checkpointed frame corrupts post-seal "
+    "(restore-time checksum must catch it)",
 }
 
 

@@ -41,6 +41,10 @@ class PodHandle:
         self.porter = porter
         #: Gray-failure flag, set by the detector (same protocol as nodes).
         self.suspected = False
+        #: RAS verdict: the pod serves, but its CXL pool is losing frames
+        #: to poison — the router steers overflow away (same protocol as
+        #: nodes; set by the detector's degrade threshold).
+        self.degraded = False
         self.log = EventLog(enabled=False)
         #: Whole-pod failure (CXL device power loss), distinct from all
         #: nodes happening to crash individually.
@@ -60,6 +64,16 @@ class PodHandle:
         still-serving member (dead nodes don't count; they're failures)."""
         live = [n.slow_factor for n in self.nodes if not n.failed]
         return max(live, default=1.0)
+
+    @property
+    def poison_rate(self) -> float:
+        """Fraction of the pod's shared CXL pool lost or losing to poison.
+
+        The shared device is what checkpoints (and thus every fork served
+        from this pod) live in, so pod-level decay is measured there, not
+        on per-node DRAM.
+        """
+        return self.fabric.device.frames.poison_rate
 
     # -- failure injection ------------------------------------------------------
 

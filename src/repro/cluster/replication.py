@@ -34,6 +34,7 @@ import numpy as np
 from repro.os.mm.pagetable import PTES_PER_LEAF, PteLeaf
 from repro.os.mm.pte import PTE_FLAG_MASK, PTE_FRAME_SHIFT
 from repro.os.mm.vma import VmaLeaf
+from repro.ras import RAS, verify_checkpoint
 from repro.rfork.criu import CriuCheckpoint
 from repro.rfork.cxlfork import (
     REBASE_FIXUP_NS,
@@ -67,6 +68,12 @@ def wire_image(checkpoint) -> dict:
     node names — so the same process state always encodes to the same
     bytes regardless of which pod holds it.
     """
+    if isinstance(checkpoint, (CxlForkCheckpoint, CriuCheckpoint)):
+        if RAS.active():
+            # A poisoned source must never replicate: shipping it would
+            # spread the corruption to every peer pod (the CXL "viral"
+            # semantic, enforced in software at the encode boundary).
+            verify_checkpoint(checkpoint, context="replication.wire_image")
     if isinstance(checkpoint, CxlForkCheckpoint):
         return _cxlfork_wire(checkpoint)
     if isinstance(checkpoint, CriuCheckpoint):

@@ -68,6 +68,14 @@ class RouterConfig:
     load_weight: float = 20.0
     capacity_weight: float = 5.0
     suspect_penalty: float = 40.0
+    #: RAS steering: a pod's poison rate folds into its pressure, scaled
+    #: so 2% of the device poisoned reads as a fully loaded pod (the
+    #: two-level scheduler then overflows away from the decaying device).
+    poison_pressure_scale: float = 50.0
+    #: Flat penalty for a detector-degraded pod, milder than suspect —
+    #: degraded pods serve correctly (checksums + repair), they just
+    #: should not win ties for new growth.
+    degraded_penalty: float = 20.0
     #: Times a request may bounce between pods before its last pod
     #: records it as failed.
     max_reroutes: int = 2
@@ -86,6 +94,14 @@ class RouterConfig:
             )
         if self.max_reroutes < 0:
             raise ValueError(f"max_reroutes must be >= 0: {self.max_reroutes}")
+        if self.poison_pressure_scale < 0:
+            raise ValueError(
+                f"poison_pressure_scale must be >= 0: {self.poison_pressure_scale}"
+            )
+        if self.degraded_penalty < 0:
+            raise ValueError(
+                f"degraded_penalty must be >= 0: {self.degraded_penalty}"
+            )
 
 
 @dataclass
@@ -194,6 +210,11 @@ class ClusterRouter:
         if bandwidth is not None and bandwidth.capacity_gbps > 0:
             bw_load = bandwidth.offered_gbps / bandwidth.capacity_gbps
             load = max(load, min(bw_load, 2.0))
+        # RAS steering: a decaying device is pressure too.  Zero-cost and
+        # score-neutral while the pod is poison-free (the common case).
+        poison = getattr(pod, "poison_rate", 0.0)
+        if poison > 0.0:
+            load = max(load, min(poison * cfg.poison_pressure_scale, 2.0))
         # A warm instance (or a local image) behind a saturated pod is
         # not warm: the request would just wait out the queueing.  Scale
         # the affinity bonuses by headroom so a full home pod overflows
@@ -211,6 +232,8 @@ class ClusterRouter:
             )
         if pod.suspected:
             score -= cfg.suspect_penalty
+        if getattr(pod, "degraded", False):
+            score -= cfg.degraded_penalty
         return score
 
     def submit(self, request: Request) -> None:

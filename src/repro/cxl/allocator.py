@@ -41,6 +41,10 @@ class LeakReport:
     leaked: list[int] = field(default_factory=list)
     mismatched: dict[int, tuple[int, int]] = field(default_factory=dict)
     missing: list[int] = field(default_factory=list)
+    #: Frames taken out of service by the RAS layer (poisoned, refcount
+    #: dropped to zero, never recycled).  Informational: an offlined frame
+    #: is an explicit owner class, not a leak, so it never affects ``clean``.
+    offlined: list[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -95,6 +99,16 @@ class FrameAllocator:
         self.quarantined = False
         self._bump = 0  # next never-allocated local index
         self._free: list[int] = []  # recycled local indices (LIFO)
+        #: Allocated frames flagged corrupt by the RAS layer.  They stay
+        #: refcounted (owners still map them) but every checksum point
+        #: refuses to serve them; when the last reference drops they move
+        #: to ``_offlined`` instead of the free list.
+        self._poisoned: set[int] = set()
+        #: Frames permanently out of service (page-offline).  Never
+        #: recycled, subtracted from capacity, excluded from leak audits
+        #: as an explicit owner class.
+        self._offlined: set[int] = set()
+        self._bad_cache: "np.ndarray | None" = None  # sorted poisoned+offlined
         # Refcounts grow lazily: pools are sized at up to 128 GiB (33M
         # frames) and eagerly allocating that array would waste real memory.
         self._refcount = np.zeros(min(capacity_frames, 4096), dtype=np.int32)
@@ -122,7 +136,7 @@ class FrameAllocator:
 
     @property
     def free_frames(self) -> int:
-        return self.capacity_frames - self._allocated
+        return self.capacity_frames - self._allocated - len(self._offlined)
 
     @property
     def used_bytes(self) -> int:
@@ -218,8 +232,30 @@ class FrameAllocator:
         self._refcount[idx] -= 1
         dead = idx[self._refcount[idx] == 0]
         if dead.size:
-            self._free.extend(int(i) for i in dead)
             self._allocated -= int(dead.size)
+            if self._poisoned:
+                # Containment: a poisoned frame whose last reference drops
+                # is offlined instead of recycled — it never re-enters the
+                # free list, so corruption cannot resurface in a fresh
+                # allocation.
+                recycled = []
+                offlined = 0
+                for i in dead:
+                    i = int(i)
+                    if i in self._poisoned:
+                        self._poisoned.discard(i)
+                        self._offlined.add(i)
+                        offlined += 1
+                    else:
+                        recycled.append(i)
+                self._free.extend(recycled)
+                if offlined:
+                    self._bad_cache = None
+                    from repro.telemetry import TRACE
+
+                    TRACE.count("ras.frames_offlined", offlined)
+            else:
+                self._free.extend(int(i) for i in dead)
         return int(dead.size)
 
     def free_many(self, frames: "np.ndarray | Iterable[int]") -> int:
@@ -245,6 +281,105 @@ class FrameAllocator:
         Idempotent.
         """
         self.quarantined = True
+
+    # -- RAS: poison / page-offline ------------------------------------------
+
+    @property
+    def has_poison(self) -> bool:
+        """O(1) hot-path early-out: any frame currently flagged poisoned?"""
+        return bool(self._poisoned)
+
+    @property
+    def offlined_frames(self) -> int:
+        return len(self._offlined)
+
+    @property
+    def poisoned_frames(self) -> int:
+        return len(self._poisoned)
+
+    @property
+    def poison_rate(self) -> float:
+        """Fraction of the pool's capacity lost or losing to corruption.
+
+        Counts both live poisoned frames and permanently offlined ones —
+        the signal the cluster router folds into placement pressure.
+        """
+        return (len(self._poisoned) + len(self._offlined)) / self.capacity_frames
+
+    def poison(self, frames: "np.ndarray | Iterable[int] | int") -> int:
+        """Flag frames as corrupted; returns how many were newly flagged.
+
+        Allocated frames stay mapped (owners hold references to garbage —
+        exactly the hardware poison model) but are refused at every RAS
+        checksum point and offlined when their last reference drops.  Free
+        frames are offlined immediately: there is nothing to detect, the
+        page just leaves the pool.  Only frames that have been handed out
+        at least once can be poisoned; a quarantined pool ignores poison
+        (the whole node is already gone).
+        """
+        if self.quarantined:
+            return 0
+        idx = self._indices(frames)
+        if idx.size and int(idx.max()) >= self._bump:
+            raise ValueError(
+                f"pool {self.name!r}: cannot poison a never-allocated frame"
+            )
+        newly = 0
+        freed_hits = []
+        for i in idx:
+            i = int(i)
+            if i in self._poisoned or i in self._offlined:
+                continue
+            if i < self._refcount.size and self._refcount[i] > 0:
+                self._poisoned.add(i)
+            else:
+                freed_hits.append(i)
+                self._offlined.add(i)
+            newly += 1
+        if freed_hits:
+            hit_set = set(freed_hits)
+            self._free = [i for i in self._free if i not in hit_set]
+        if newly:
+            self._bad_cache = None
+        return newly
+
+    def clear_poison(self, frames: "np.ndarray | Iterable[int] | int") -> int:
+        """Un-flag poisoned frames (scrub repaired them in place)."""
+        idx = self._indices(frames)
+        cleared = 0
+        for i in idx:
+            i = int(i)
+            if i in self._poisoned:
+                self._poisoned.discard(i)
+                cleared += 1
+        if cleared:
+            self._bad_cache = None
+        return cleared
+
+    def is_poisoned(self, frame: int) -> bool:
+        i = self._index(frame)
+        return i in self._poisoned or i in self._offlined
+
+    def _bad_indices(self) -> np.ndarray:
+        if self._bad_cache is None:
+            bad = sorted(self._poisoned | self._offlined)
+            self._bad_cache = np.asarray(bad, dtype=np.int64)
+        return self._bad_cache
+
+    def poisoned_in(self, frames: "np.ndarray | Iterable[int]") -> np.ndarray:
+        """Global frame numbers from ``frames`` that are poisoned/offlined.
+
+        Vectorized membership test; O(1) when the pool is clean, which is
+        what keeps RAS verification free on unpoisoned hot paths.
+        """
+        if not self._poisoned and not self._offlined:
+            return np.empty(0, dtype=np.int64)
+        arr = np.atleast_1d(np.asarray(frames, dtype=np.int64))
+        if arr.size == 0:
+            return np.empty(0, dtype=np.int64)
+        idx = self._indices(arr)
+        hit = np.isin(idx, self._bad_indices())
+        return np.unique(arr[hit])
 
     # -- leak auditing -------------------------------------------------------
 
@@ -280,6 +415,7 @@ class FrameAllocator:
                 report.missing.append(frame)
         report.leaked.sort()
         report.missing.sort()
+        report.offlined = sorted(self.base + i for i in self._offlined)
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

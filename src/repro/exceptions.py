@@ -36,9 +36,33 @@ class FederationExhaustedError(ExhaustionError):
     """Every pod in the federated cluster is down; routing is impossible."""
 
 
+class PoisonError(RuntimeError):
+    """A poisoned (corrupted) CXL/DRAM frame was detected before use.
+
+    Raised by the RAS layer (:mod:`repro.ras`) whenever a checksum
+    verification point — checkpoint seal, restore, replication encode, or
+    a demand fault mapping checkpoint frames — touches a frame the pool
+    has marked poisoned.  This is the memory-access analogue of the
+    differential oracle's divergence report: the alternative is silently
+    serving wrong bytes to a forked child.
+    """
+
+    def __init__(self, pool: str, frames, context: str = "") -> None:
+        self.pool = str(pool)
+        self.frames = [int(f) for f in frames]
+        self.context = context
+        where = f" during {context}" if context else ""
+        sample = self.frames[:4]
+        super().__init__(
+            f"pool {self.pool!r}: {len(self.frames)} poisoned frame(s) "
+            f"detected{where} (e.g. {sample})"
+        )
+
+
 __all__ = [
     "ExhaustionError",
     "PodExhaustedError",
     "ClusterExhaustedError",
     "FederationExhaustedError",
+    "PoisonError",
 ]

@@ -20,6 +20,12 @@ Fault model (see docs/RESILIENCE.md):
 * **Gray failure** — :meth:`FaultInjector.slow_node` multiplies a node's
   operation costs without killing it; failure detectors must tell slow
   from dead.
+* **Memory poison** — :meth:`FaultInjector.poison_frame` /
+  :meth:`FaultInjector.poison_range` flip deterministic frames to a
+  POISONED state in a frame pool, silently (no exception at injection
+  time), including mid-checkpoint/mid-replication via
+  :meth:`FaultInjector.poison_at` clock alarms.  Detection, containment
+  and repair live in :mod:`repro.ras`.
 
 Recovery machinery lives in :mod:`repro.faults.recovery` (capped
 exponential backoff with deterministic jitter) and pod-wide frame-leak

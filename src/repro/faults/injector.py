@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.cxl.allocator import FrameAllocator, OutOfMemoryError
 from repro.os.kernel import NodeFailedError
 from repro.sim.clock import ClockAlarm
@@ -246,6 +248,83 @@ class FaultInjector:
         if node in self._slowed:
             self._slowed.remove(node)
 
+    # -- memory corruption (RAS) ----------------------------------------------
+
+    def poison_frame(self, pool: FrameAllocator, frame: int) -> int:
+        """Flip one frame to POISONED; returns 1 if newly poisoned."""
+        return self.poison_range(pool, [frame])
+
+    def poison_range(self, pool: FrameAllocator, frames) -> int:
+        """Poison a set of frames; returns how many were newly flagged.
+
+        Detection is *not* here: the frames sit corrupted until a RAS
+        checksum point (seal, restore, replication encode, demand fault)
+        touches them — exactly the silent-corruption window real poison
+        semantics exist to close.
+        """
+        newly = pool.poison(frames)
+        if newly:
+            TRACE.count("ras.poison_injected", newly)
+        return newly
+
+    def poison_random(
+        self, pool: FrameAllocator, frames, rate: float
+    ) -> "np.ndarray":
+        """Poison a seed-deterministic ``rate`` fraction of ``frames``.
+
+        At least one frame is hit for any positive rate (a sweep cell with
+        poison "on" must actually inject).  Returns the chosen frames.
+        """
+        arr = np.atleast_1d(np.asarray(frames, dtype=np.int64))
+        if arr.size == 0 or rate <= 0.0:
+            return np.empty(0, dtype=np.int64)
+        count = max(1, int(round(arr.size * min(rate, 1.0))))
+        order = self.rng.permutation(arr.size)
+        chosen = np.sort(arr[order[:count]])
+        self.poison_range(pool, chosen)
+        return chosen
+
+    def poison_allocated(self, pool: FrameAllocator, count: int = 1) -> int:
+        """Poison ``count`` deterministic frames among those now allocated.
+
+        Used by timed poison (:meth:`poison_at`) landing mid-operation,
+        when the caller cannot know which frames exist at the deadline.
+        """
+        candidates = sorted(pool.snapshot_refcounts())
+        if not candidates:
+            return 0
+        order = self.rng.permutation(len(candidates))
+        chosen = [candidates[int(i)] for i in order[: max(1, count)]]
+        return self.poison_range(pool, chosen)
+
+    def poison_at(
+        self,
+        clock,
+        pool: FrameAllocator,
+        deadline_ns: int,
+        *,
+        frames=None,
+        count: int = 1,
+    ) -> ClockAlarm:
+        """Arm a poison event at absolute virtual time ``deadline_ns``.
+
+        Fires during whatever operation advances ``clock`` across the
+        deadline — mid-checkpoint or mid-replication corruption.  Unlike
+        :meth:`crash_at` the alarm never raises: corruption is silent by
+        nature; only a later checksum point surfaces it (as
+        :class:`repro.exceptions.PoisonError`).
+        """
+
+        def action() -> None:
+            if frames is not None:
+                self.poison_range(pool, frames)
+            else:
+                self.poison_allocated(pool, count)
+
+        alarm = clock.at(deadline_ns, action)
+        self._alarms.append(alarm)
+        return alarm
+
     # -- lifecycle -------------------------------------------------------------
 
     def cancel_all(self) -> None:
@@ -256,7 +335,11 @@ class FaultInjector:
         for handle in self._hooks:
             handle.remove()
         self._hooks.clear()
-        for window in self._windows:
+        # LIFO: nested windows on one fabric each saved the latency they
+        # observed at creation, so they must unwind innermost-first or the
+        # outer window's end() would be overwritten by a *degraded* save,
+        # leaking the degradation past the cancel.
+        for window in reversed(self._windows):
             window.end()
         self._windows.clear()
         for node in list(self._slowed):

@@ -39,6 +39,7 @@ from repro.os.mm.pte import (
 )
 from repro.os.mm.vma import Vma, VmaKind, VmaPerms
 from repro.os.proc.task import Task, TaskState
+from repro.ras import RAS, verify_frames
 from repro.sim.units import PAGE_SIZE
 from repro.telemetry import TRACE
 
@@ -713,8 +714,18 @@ class Kernel:
         on_cxl = cow_mask & ((ptes & _CXL) != 0)
         on_local = cow_mask & ~((ptes & _CXL) != 0)
         total = int(np.count_nonzero(cow_mask))
-        new_frames = self._alloc_local(mm, total)
         old_frames = (ptes[cow_mask] >> PTE_FRAME_SHIFT).astype(np.int64)
+        old_is_cxl = on_cxl[cow_mask]
+        if RAS.active():
+            # The CoW read is the other hot path that copies checkpoint
+            # bytes (eagerly mapped pages never demand-fault): the private
+            # copy of a poisoned frame must not be served.  Checked before
+            # any PTE/refcount mutation so a detection leaves no half-done
+            # fault; has_poison keeps the clean-pool cost at one read.
+            pool = self.node.fabric.device.frames
+            if pool.has_poison and np.any(old_is_cxl):
+                verify_frames(pool, old_frames[old_is_cxl], context="cow-fault")
+        new_frames = self._alloc_local(mm, total)
         new_flags = (
             PteFlags.PRESENT
             | PteFlags.WRITE
@@ -726,7 +737,6 @@ class Kernel:
         # Drop the mapping references on the source pages.
         backing = mm.ckpt_backing
         holds = backing is None or backing.holds_frame_refs
-        old_is_cxl = on_cxl[cow_mask]
         if np.any(old_is_cxl) and holds:
             self.node.fabric.put_frames(old_frames[old_is_cxl])
         local_old = old_frames[~old_is_cxl]
@@ -837,6 +847,15 @@ class Kernel:
         stats: FaultStats,
     ) -> None:
         """MoA / hybrid-tiering resolution of checkpoint-covered pages."""
+        if RAS.active():
+            # Hot-path integrity check: a demand fault about to read (copy)
+            # or map checkpoint frames must not touch poisoned ones.  The
+            # has_poison guard keeps the clean-pool cost at one attribute
+            # read, so checked runs stay digest-identical.
+            pool = self.node.fabric.device.frames
+            if pool.has_poison:
+                src = (ckpt_ptes[mask] >> PTE_FRAME_SHIFT).astype(np.int64)
+                verify_frames(pool, src, context="demand-fault")
         mm = task.mm
         policy = backing.policy
         a_bits = (ckpt_ptes & _ACCESSED) != 0

@@ -65,6 +65,10 @@ class ComputeNode:
         #: Set by a failure detector that saw missed heartbeats but has not
         #: yet declared the node dead; schedulers avoid suspected nodes.
         self.suspected = False
+        #: RAS verdict, distinct from dead and from suspected: the node
+        #: answers heartbeats but its memory is losing frames to poison
+        #: (see HeartbeatDetector.degrade_poison_rate).
+        self.degraded = False
         #: Callbacks run by :meth:`fail` after local teardown — the pod
         #: janitor and the porter detector register here to reclaim shared
         #: state owned by the dead node.
@@ -78,6 +82,11 @@ class ComputeNode:
         fabric.attach_node(self)
         # Name this node's virtual clock in exported traces.
         TRACE.register_track(self.clock, self.name)
+
+    @property
+    def poison_rate(self) -> float:
+        """Fraction of this node's DRAM lost or losing to poison."""
+        return self.dram.poison_rate
 
     # -- failure injection --------------------------------------------------------
 

@@ -17,6 +17,13 @@ starts away from suspected nodes but their warm instances stay usable —
 evicting a slow-but-alive node outright would turn a gray failure into a
 real one.
 
+A third verdict, *degraded*, is distinct from both dead and suspected: a
+member that answers heartbeats at full speed but whose memory is losing
+frames to poison (``poison_rate`` at or above ``degrade_poison_rate``).
+A degraded member keeps serving — its sealed images are checksummed and
+repairable — but placement layers (the cluster router) steer overflow
+away from it before the decay becomes an outage.
+
 Detector ticks run at event-queue priority 1 so that a controller tick
 scheduled for the same instant keeps dispatching first; enabling the
 detector must not reorder the existing control loop's events.
@@ -43,15 +50,21 @@ class HeartbeatDetector:
         interval_ns: int = int(500 * MS),
         miss_threshold: int = 3,
         suspect_slow_factor: float = 4.0,
+        degrade_poison_rate: float = 0.01,
         on_dead: Optional[Callable[[ComputeNode], None]] = None,
     ) -> None:
         if miss_threshold < 1:
             raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        if degrade_poison_rate <= 0.0:
+            raise ValueError(
+                f"degrade_poison_rate must be positive, got {degrade_poison_rate}"
+            )
         self.nodes = list(nodes)
         self.queue = queue
         self.interval_ns = int(interval_ns)
         self.miss_threshold = miss_threshold
         self.suspect_slow_factor = suspect_slow_factor
+        self.degrade_poison_rate = degrade_poison_rate
         self.on_dead = on_dead
         self.misses: dict[str, int] = {n.name: 0 for n in self.nodes}
         #: Names of nodes this detector has declared dead, with the
@@ -112,8 +125,39 @@ class HeartbeatDetector:
                     node=node.name,
                     slow_factor=node.slow_factor,
                 )
+            rate = getattr(node, "poison_rate", 0.0)
+            degraded = rate >= self.degrade_poison_rate
+            if degraded != getattr(node, "degraded", False):
+                node.degraded = degraded
+                TRACE.count(
+                    "porter.nodes_degraded"
+                    if degraded
+                    else "porter.nodes_undegraded"
+                )
+                node.log.emit(
+                    self.queue.now,
+                    "node_degraded" if degraded else "node_degradation_cleared",
+                    node=node.name,
+                    poison_rate=rate,
+                )
         if self._running:
             self._schedule_tick()
+
+    def verdict(self, node) -> str:
+        """This detector's health verdict for one member.
+
+        ``dead`` > ``suspected`` > ``degraded`` > ``live`` — a slow node
+        that is also poisoning reports suspected (it cannot even serve
+        well), while degraded alone means "serves fine, steer growth
+        elsewhere".
+        """
+        if node.name in self.declared_dead:
+            return "dead"
+        if getattr(node, "suspected", False):
+            return "suspected"
+        if getattr(node, "degraded", False):
+            return "degraded"
+        return "live"
 
     def _declare_dead(self, node: ComputeNode) -> None:
         self.declared_dead[node.name] = self.queue.now

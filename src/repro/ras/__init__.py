@@ -1,0 +1,114 @@
+"""repro.ras — Reliability/Availability/Serviceability for pooled memory.
+
+CXLfork's premise is that process state lives *as-is* in pooled CXL
+memory: one corrupted frame silently poisons every child forked from the
+image, every ghost container attached to it, and every replica shipped
+from it.  Real CXL hardware defines poison/viral containment semantics
+for exactly this failure mode; this package closes the software side of
+that loop:
+
+* **Injection** — :class:`repro.faults.FaultInjector` grows
+  seed-reproducible ``poison_frame``/``poison_range`` faults (including
+  mid-operation timing via clock alarms) that flip frames to POISONED in
+  a :class:`repro.cxl.allocator.FrameAllocator`.
+* **Detection** — per-frame content checksums, computed at checkpoint
+  seal time and verified at every restore, replication encode, and
+  demand fault that maps checkpoint frames.  A mismatch raises
+  :class:`repro.exceptions.PoisonError` instead of serving wrong bytes.
+* **Containment** — poisoned frames are refused at every checksum point
+  and page-offlined (never recycled) when their last reference drops;
+  see ``FrameAllocator.poison``.
+* **Repair** — :class:`repro.ras.repair.Repairer` escalates
+  deterministically: re-copy from the CoW parent, re-fetch from a
+  peer-pod replica, else a clean re-checkpoint; a virtual-time
+  :class:`repro.ras.scrub.Scrubber` walks frames at a GB/s budget.
+
+Checksum model: sealed checkpoint frames are immutable by construction
+(children copy-on-write, they never write through), so "stored checksum
+no longer matches frame contents" is *equivalent to* "the frame is in
+the pool's poisoned set".  The runtime therefore verifies membership —
+a read-only walk of simulator state, following the :mod:`repro.check`
+contract: verification never advances a virtual clock, so enabling it
+cannot perturb experiment results or committed digests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.check import CHECK
+from repro.exceptions import PoisonError
+from repro.ras.checksum import (
+    checkpoint_frames,
+    seal_checkpoint,
+    verify_checkpoint,
+    verify_frames,
+)
+
+
+class RasRuntime:
+    """Process-global switch for RAS checksum verification.
+
+    Mirrors :class:`repro.check.CheckRuntime`: disabled by default so the
+    hot paths stay untouched, enabled explicitly or implicitly whenever
+    the differential checker is on (``CHECK.enabled``) — a checked run
+    should catch corruption too.  ``force()`` pins the decision for a
+    scope regardless of either flag; the corruption sweep uses it to run
+    checksums-off control cells even under ``repro run --check``.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._forced: bool | None = None
+        self.seals = 0
+        self.verifications = 0
+        self.detections = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.enabled = False
+        self._forced = None
+        self.seals = 0
+        self.verifications = 0
+        self.detections = 0
+
+    def active(self) -> bool:
+        if self._forced is not None:
+            return self._forced
+        return self.enabled or CHECK.enabled
+
+    @contextmanager
+    def force(self, value: bool):
+        """Pin :meth:`active` to ``value`` for the scope (reentrant)."""
+        prev = self._forced
+        self._forced = bool(value)
+        try:
+            yield
+        finally:
+            self._forced = prev
+
+    def summary(self) -> str:
+        return (
+            f"ras: {self.seals} seals, {self.verifications} verifications, "
+            f"{self.detections} detections"
+        )
+
+
+#: The process-wide RAS runtime.
+RAS = RasRuntime()
+
+
+__all__ = [
+    "RAS",
+    "RasRuntime",
+    "PoisonError",
+    "checkpoint_frames",
+    "seal_checkpoint",
+    "verify_checkpoint",
+    "verify_frames",
+]

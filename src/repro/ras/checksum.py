@@ -1,0 +1,103 @@
+"""Checkpoint checksums: seal at write time, verify at every use.
+
+The detection half of the RAS loop.  ``seal_checkpoint`` runs when a
+checkpoint finishes materializing (cxlfork leaf-attach seal, criu-cxl
+serialize); ``verify_checkpoint``/``verify_frames`` run at restore,
+replication encode, and demand-fault time.  Both raise
+:class:`repro.exceptions.PoisonError` listing the offending frames.
+
+Sealed frames are immutable (children fork copy-on-write and never write
+through to the image), so a stored-checksum mismatch is equivalent to
+membership in the pool's poisoned set — which is what
+``FrameAllocator.poisoned_in`` tests, vectorized, with an O(1) early-out
+when the pool is clean.  No virtual time is ever charged here: like the
+:mod:`repro.check` invariant sweeps, verification is a read-only walk of
+simulator state and cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PoisonError
+from repro.telemetry import TRACE
+
+
+def checkpoint_frames(checkpoint) -> np.ndarray:
+    """Every CXL frame a checkpoint's bytes live in (global numbers).
+
+    Duck-typed over the two frame-resident mechanisms:
+
+    * cxlfork images expose ``data_frames`` (page payloads) plus a
+      metadata heap with ``backing_frames``;
+    * criu-cxl images are files in the CXL file system, one frame set
+      per image file.
+    """
+    chunks: list[np.ndarray] = []
+    data = getattr(checkpoint, "data_frames", None)
+    if data is not None:
+        chunks.append(np.asarray(data, dtype=np.int64))
+        heap = getattr(checkpoint, "heap", None)
+        backing = getattr(heap, "backing_frames", None)
+        if backing is not None and backing.size:
+            chunks.append(np.asarray(backing, dtype=np.int64))
+    else:
+        cxlfs = checkpoint.cxlfs
+        for path in checkpoint.file_paths:
+            if cxlfs.exists(path):
+                chunks.append(np.asarray(cxlfs.stat(path).frames, dtype=np.int64))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def _pool_of(checkpoint):
+    fabric = getattr(checkpoint, "fabric", None)
+    if fabric is None:
+        fabric = checkpoint.cxlfs.fabric
+    return fabric.device.frames
+
+
+def verify_frames(pool, frames, *, context: str = "access") -> None:
+    """Checksum-verify ``frames`` against ``pool``; raise on any mismatch."""
+    from repro.ras import RAS
+
+    RAS.verifications += 1
+    if not pool.has_poison and not pool.offlined_frames:
+        return
+    bad = pool.poisoned_in(frames)
+    if bad.size:
+        RAS.detections += 1
+        TRACE.count("ras.detected", int(bad.size))
+        raise PoisonError(pool.name, bad.tolist(), context)
+
+
+def verify_checkpoint(checkpoint, *, context: str = "restore") -> None:
+    """Verify every frame of a checkpoint image before serving from it."""
+    verify_frames(_pool_of(checkpoint), checkpoint_frames(checkpoint),
+                  context=context)
+
+
+def seal_checkpoint(checkpoint, *, context: str = "seal") -> None:
+    """Record content checksums for a just-written checkpoint.
+
+    This is also the mid-checkpoint detection point: poison that landed
+    *while* the image was being written (a clock alarm firing inside the
+    checkpoint's ``clock.advance``) fails the seal, so a corrupt image is
+    torn down by the mechanism's cleanup path instead of entering service.
+    """
+    from repro.ras import RAS
+
+    RAS.seals += 1
+    TRACE.count("ras.sealed")
+    verify_frames(_pool_of(checkpoint), checkpoint_frames(checkpoint),
+                  context=context)
+    checkpoint._ras_sealed = True
+
+
+__all__ = [
+    "checkpoint_frames",
+    "seal_checkpoint",
+    "verify_checkpoint",
+    "verify_frames",
+]

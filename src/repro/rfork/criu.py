@@ -24,6 +24,7 @@ from repro.os.mm.vma import VmaKind
 from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
 from repro.os.proc.task import Task, TaskState
+from repro.ras import RAS, seal_checkpoint, verify_checkpoint
 from repro.rfork.base import (
     FD_REOPEN_NS,
     MMAP_SYSCALL_NS,
@@ -163,6 +164,11 @@ class CriuCxl(RemoteForkMechanism):
             metrics.cxl_bytes = ckpt.cxl_bytes
             # Part of the operation: crash alarms in the window fire here.
             node.clock.advance(metrics.latency_ns)
+            # Seal: checksum every image-file frame.  Mid-checkpoint poison
+            # (an alarm in the advance above) fails the seal and the
+            # cleanup below unlinks the corrupt image files.
+            if RAS.active():
+                seal_checkpoint(ckpt, context="criu.seal")
         except BaseException:
             span.finish()  # failed checkpoints must not leave the span open
             if ckpt is not None:
@@ -216,6 +222,9 @@ class CriuCxl(RemoteForkMechanism):
     ) -> RestoreResult:
         if policy is not None:
             raise ValueError("CRIU-CXL has no tiering policies; state is fully copied")
+        if RAS.active():
+            # Fail before spawning anything: a corrupt image never serves.
+            verify_checkpoint(checkpoint, context="criu.restore")
         kernel = node.kernel
         metrics = RestoreMetrics()
         span = TRACE.span(

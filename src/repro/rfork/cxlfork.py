@@ -30,6 +30,7 @@ from repro.os.mm.vma import VmaLeaf
 from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
 from repro.os.proc.task import Task, TaskState
+from repro.ras import RAS, seal_checkpoint, verify_checkpoint
 from repro.rfork.base import (
     FD_REOPEN_NS,
     NS_RESTORE_NS,
@@ -299,6 +300,16 @@ class CxlFork(RemoteForkMechanism):
             # Advancing the clock is part of the operation: a crash alarm
             # armed inside the checkpoint window fires here, aborting us.
             node.clock.advance(metrics.latency_ns)
+            # Seal: checksum every image frame.  Poison that landed during
+            # the write (an alarm firing in the advance above) fails the
+            # seal and the cleanup below tears the corrupt image down.
+            if RAS.active():
+                seal_checkpoint(ckpt, context="cxlfork.seal")
+            if _mutation.active("flip-frame-byte") and ckpt.data_frames.size:
+                # Seeded bug for the checker's smoke test: corrupt one
+                # checkpointed frame *after* the seal — the restore-time
+                # checksum verification must catch it (repro.check.mutation).
+                fabric.device.frames.poison(ckpt.data_frames[:1])
         except BaseException:
             span.finish()  # failed checkpoints must not leave the span open
             # Crash consistency: an aborted checkpoint must leak nothing.
@@ -331,6 +342,10 @@ class CxlFork(RemoteForkMechanism):
     ) -> RestoreResult:
         if not checkpoint.rebased:
             raise RebaseError("cannot restore from a non-rebased checkpoint")
+        if RAS.active():
+            # Verify before spawning anything: a poisoned image must never
+            # begin serving, and failing here leaves nothing to unwind.
+            verify_checkpoint(checkpoint, context="cxlfork.restore")
         if policy is None:
             policy = MigrateOnWrite()
         kernel = node.kernel

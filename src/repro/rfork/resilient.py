@@ -9,6 +9,14 @@ Wraps CXLfork with the recovery policies of :mod:`repro.faults.recovery`:
   cxlfork to CRIU-CXL: the CRIU image skips clean private file pages, so
   it fits where a full CXLfork image did not — trading restore latency
   for admission, rather than failing the fork outright.
+* **Mid-checkpoint poison** (a RAS seal failure,
+  :class:`repro.exceptions.PoisonError`) is treated like a transient
+  fault on the checkpoint path: the corrupt image was already torn down
+  by the mechanism's cleanup, so a retry writes a fresh one into fresh
+  frames (the poisoned ones are offlined and never recycled).  If the
+  pool keeps poisoning, the CRIU fallback gets its chance.  Restores do
+  *not* retry poison — re-reading the same corrupt image is
+  deterministic failure; the RAS repair ladder owns that path.
 * **Dead nodes are not retried**: :class:`NodeFailedError` propagates
   immediately (the porter's failure detector owns re-placement).
 
@@ -22,6 +30,7 @@ from typing import Any, Optional
 
 from repro.cxl.allocator import OutOfMemoryError
 from repro.cxl.fabric import CxlFabric
+from repro.exceptions import PoisonError
 from repro.faults.recovery import RetryExhaustedError, RetryPolicy, call_with_retries
 from repro.os.fs.cxlfs import CxlFileSystem
 from repro.os.kernel import NodeFailedError
@@ -73,19 +82,24 @@ class ResilientFork(RemoteForkMechanism):
                 policy=self.retry_policy,
                 clock=clock,
                 rng=self.rng,
-                retry_on=(OutOfMemoryError,),
+                retry_on=(OutOfMemoryError, PoisonError),
                 label="resilient.checkpoint",
             )
         except RetryExhaustedError as exc:
-            if not isinstance(exc.last, OutOfMemoryError):
-                raise  # pragma: no cover - retry_on limits this to OOM
+            if not isinstance(exc.last, (OutOfMemoryError, PoisonError)):
+                raise  # pragma: no cover - retry_on limits the error set
             # Graceful degradation: the CXL pool cannot hold a full CXLfork
             # image.  A CRIU image is smaller (clean file pages skipped);
             # fall back rather than failing the fork.
             TRACE.count("resilient.fallback_checkpoint")
+            reason = (
+                "cxl_exhausted"
+                if isinstance(exc.last, OutOfMemoryError)
+                else "poisoned_pool"
+            )
             task.node.log.emit(
                 clock.now, "resilient_fallback", comm=task.comm,
-                reason="cxl_exhausted", to=self.fallback.name,
+                reason=reason, to=self.fallback.name,
             )
             return call_with_retries(
                 lambda: self.fallback.checkpoint(task),

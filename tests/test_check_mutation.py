@@ -41,6 +41,33 @@ class TestMutationEffect:
                 assert int(np.count_nonzero(sel & cow)) == 0
 
 
+class TestFlipFrameByteMutation:
+    """The RAS seeded bug: post-seal corruption, restore-time detection."""
+
+    def test_listed_in_registry(self):
+        assert "flip-frame-byte" in mutation.KNOWN
+
+    def test_checkpoint_frame_poisoned_post_seal(self, pod, parent, monkeypatch):
+        _, instance = parent
+        monkeypatch.setenv(mutation.ENV_VAR, "flip-frame-byte")
+        ckpt, _ = CxlFork().checkpoint(instance.task)
+        pool = pod.fabric.device.frames
+        assert pool.is_poisoned(int(ckpt.data_frames[0]))
+
+    def test_armed_mutation_detected_by_restore_checksum(
+        self, monkeypatch, check_enabled
+    ):
+        from repro.exceptions import PoisonError
+
+        monkeypatch.setenv(mutation.ENV_VAR, "flip-frame-byte")
+        with pytest.raises(PoisonError):
+            run_scenario(0, steps=40)
+
+    def test_cli_exits_nonzero_when_armed(self, monkeypatch):
+        monkeypatch.setenv(mutation.ENV_VAR, "flip-frame-byte")
+        assert main(["--seed", "0", "--steps", "40"]) == 1
+
+
 class TestSmoke:
     def test_armed_mutation_is_detected(self, monkeypatch, check_enabled):
         """The differential oracle must flag the dropped COW bit as a lost

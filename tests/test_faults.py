@@ -172,6 +172,28 @@ class TestInjector:
         node.clock.advance(int(5 * MS))
         assert not node.failed
 
+    def test_cancel_all_unwinds_nested_windows_lifo(self, pod):
+        """Regression: the inner window saved the *degraded* latency; ending
+        windows in creation order restored that degraded save last, leaking
+        the degradation past cancel_all."""
+        baseline = pod.fabric.latency.cxl_access_ns
+        injector = FaultInjector()
+        injector.degrade_fabric(pod.fabric, factor=2.0)
+        injector.degrade_fabric(pod.fabric, factor=3.0)  # nested: saves 2x
+        assert pod.fabric.latency.cxl_access_ns == pytest.approx(baseline * 6.0)
+        injector.cancel_all()
+        assert pod.fabric.latency.cxl_access_ns == pytest.approx(baseline)
+
+    def test_cancel_all_idempotent_after_manual_end(self, pod):
+        baseline = pod.fabric.latency.cxl_access_ns
+        injector = FaultInjector()
+        outer = injector.degrade_fabric(pod.fabric, factor=2.0)
+        inner = injector.degrade_fabric(pod.fabric, factor=3.0)
+        inner.end()
+        outer.end()
+        injector.cancel_all()  # already-ended windows are no-ops
+        assert pod.fabric.latency.cxl_access_ns == pytest.approx(baseline)
+
 
 class TestRetryPolicy:
     def test_delays_grow_exponentially_and_cap(self):
