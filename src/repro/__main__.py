@@ -40,7 +40,10 @@ EXPERIMENTS = {
     ),
     "scalability": ("repro.experiments.scalability", "Extension: bandwidth scaling"),
     "keepalive": ("repro.experiments.keepalive_study", "Extension: keep-alive sweep"),
-    "density": ("repro.experiments.density", "Extension: instances per memory budget"),
+    "density": (
+        "repro.experiments.density",
+        "Extension: instances per memory budget + cross-checkpoint dedup",
+    ),
     "write-heavy": ("repro.experiments.write_heavy", "Extension: write-heavy workloads"),
     "cluster-scale": (
         "repro.experiments.cluster_scale",
@@ -57,7 +60,7 @@ SEED_AWARE = {"cluster-scale", "corruption-sweep", "failure-sweep", "fig10"}
 #: shared-nothing worker processes with bit-identical merged results.
 JOBS_AWARE = {
     "fig7", "fig10", "failure-sweep", "corruption-sweep", "cluster-scale",
-    "scalability",
+    "scalability", "density",
 }
 
 
@@ -137,6 +140,13 @@ def _cmd_run(
         if jobs != 1:
             argv += ["--jobs", str(jobs)]
         return cluster_scale.main(argv)
+    if name == "density":
+        from repro.experiments import density
+
+        argv = ["--quick"] if fast else []
+        if jobs != 1:
+            argv += ["--jobs", str(jobs)]
+        return density.main(argv)
     if name == "fig10":
         from repro.experiments import fig10_porter
 

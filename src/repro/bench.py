@@ -121,6 +121,34 @@ def _cluster(quick: bool, jobs: int) -> Any:
     return {"rows": rows, "summary": cluster_scale.summarize(rows)}
 
 
+def _density(quick: bool, jobs: int) -> Any:
+    from repro.experiments import density
+
+    rows = density.run_cross(quick=quick, jobs=jobs)
+    dirty = [r for r in rows if not r.audit_clean]
+    if dirty:
+        raise RuntimeError(
+            f"density cross sweep: {len(dirty)} row(s) failed the pod audit"
+        )
+    summary = density.summarize_cross(rows)
+    # The committed baseline *records* dedup's win; these gates make a
+    # regression (dedup stops sharing, delta stops saving) a hard failure
+    # rather than a silently drifting number.
+    for fn in sorted({r.function for r in rows}):
+        gain = summary[f"{fn}_density_gain"]
+        if gain <= 1.0:
+            raise RuntimeError(
+                "density cross sweep: dedup did not improve instances-per-GB "
+                f"for {fn} (gain {gain:.3f}x)"
+            )
+        if summary[f"{fn}_wire_delta_mb"] >= summary[f"{fn}_wire_full_mb"]:
+            raise RuntimeError(
+                "density cross sweep: delta replication did not save wire "
+                f"bytes for {fn}"
+            )
+    return {"rows": rows, "summary": summary}
+
+
 BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
     "fig7": BenchSpec(
         name="fig7",
@@ -158,6 +186,12 @@ BENCH_EXPERIMENTS: dict[str, BenchSpec] = {
         description="Federated pods vs one naive big pod (router + replication)",
         run_full=lambda jobs: _cluster(False, jobs),
         run_quick=lambda jobs: _cluster(True, jobs),
+    ),
+    "density": BenchSpec(
+        name="density",
+        description="Cross-checkpoint dedup (instances-per-GB + delta wire bytes)",
+        run_full=lambda jobs: _density(False, jobs),
+        run_quick=lambda jobs: _density(True, jobs),
     ),
 }
 

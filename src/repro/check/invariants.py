@@ -292,6 +292,9 @@ def check_pod(
             cxlfs=cxlfs,
             checkpoints=checkpoints,
             ghost_pools=ghost_pools,
+            # Raw slot, not the lazy property: a dedup-off pod must not
+            # grow an empty index just because the checker looked.
+            chunk_index=getattr(fabric, "_chunk_index", None),
         )
         if not pod_audit.clean:
             report.add("frame-audit", "pod", pod_audit.describe())

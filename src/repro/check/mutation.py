@@ -24,6 +24,17 @@ Known mutations:
     the first restore raises :class:`repro.exceptions.PoisonError` —
     proving the detector actually fires.
 
+``alias-wrong-chunk``
+    The content-addressed seal (:mod:`repro.dedup`) maps a page whose
+    content the chunk index already holds into the *wrong* hash bucket —
+    some other chunk's frame — while recording the intended code.  The
+    restored child then reads another page's bytes through a PTE that
+    passes every structural check (the checkpoint's own page table maps
+    the same wrong frame the child aliases).  Only the oracle's chunk-code
+    cross-check (``anomaly:wrong-chunk``) catches it.  Needs dedup on and
+    a second checkpoint (the first seal populates the index; the bug fires
+    on hits).
+
 Enable with e.g. ``REPRO_CHECK_MUTATION=drop-ckpt-cow python -m repro check``.
 """
 
@@ -38,6 +49,8 @@ KNOWN = {
     "drop-ckpt-cow": "cxlfork checkpoint PTEs lose the COW bit (child writes no-op)",
     "flip-frame-byte": "one checkpointed frame corrupts post-seal "
     "(restore-time checksum must catch it)",
+    "alias-wrong-chunk": "dedup seal maps a page to the wrong hash bucket "
+    "(oracle chunk-code cross-check must catch it)",
 }
 
 

@@ -53,6 +53,7 @@ ANOM_STRUCT = -1  # VMA has no structural counterpart in the snapshot
 ANOM_LOST_WRITE = -2  # ledger says written, page is not a private writable copy
 ANOM_CXL_ALIAS = -3  # CXL mapping does not alias the checkpoint frame for this vpn
 ANOM_CACHE_MISMATCH = -4  # clean file page maps a frame the page cache disowns
+ANOM_WRONG_CHUNK = -5  # dedup'd CXL frame holds a different chunk than the seal recorded
 
 
 def _file_codes(path: str, page_offsets: np.ndarray) -> np.ndarray:
@@ -80,6 +81,7 @@ def _decode(kind: int, val: int, vma: "VmaView") -> str:
         ANOM_LOST_WRITE: "lost-write",
         ANOM_CXL_ALIAS: "cxl-alias",
         ANOM_CACHE_MISMATCH: "pagecache-mismatch",
+        ANOM_WRONG_CHUNK: "wrong-chunk",
     }
     return f"anomaly:{reasons.get(int(val), f'frame={val}')}"
 
@@ -328,6 +330,34 @@ def resolve_view(
             kind[bad] = K_ANOM
             val[bad] = ANOM_CXL_ALIAS
             # Aliasing checks out for the rest: inherited label stands.
+
+            # Content cross-check (repro.dedup): the vpn-aliasing check
+            # above is blind to a seal that interned a page into the wrong
+            # hash bucket — the checkpoint's own PTE maps the wrong frame,
+            # and the child faithfully aliases it.  With a content-addressed
+            # image, the chunk registered for the mapped frame must match
+            # the code the seal recorded for this vpn.
+            if backing is not None:
+                bk = backing.checkpoint
+                gather = getattr(bk, "gather_chunk_codes", None)
+                expected_codes = (
+                    gather(vma.start_vpn, n) if gather is not None else None
+                )
+                if expected_codes is not None:
+                    index = getattr(
+                        getattr(node, "fabric", None), "_chunk_index", None
+                    )
+                    if index is not None:
+                        actual_codes = index.codes_for(frames)
+                        wrong = (
+                            on_cxl
+                            & (expected_codes != 0)
+                            & (actual_codes != 0)
+                            & (expected_codes != actual_codes)
+                        )
+                        kind[wrong] = K_ANOM
+                        val[wrong] = ANOM_WRONG_CHUNK
+
 
         # Clean local file pages must map the frame the page cache holds for
         # (path, pgoff) — that is the only way their bytes are the file's.

@@ -22,10 +22,21 @@ Two policies decide *when* to ship (Aquifer's pull/push split):
   pod that lacks the image (first cross-pod cold start pays the wire);
 * **push** — ship eagerly after checkpoint creation to ``fanout`` other
   pods, trading background interconnect traffic for locality everywhere.
+
+**Delta replication** (dedup-aware shipping): when the source image was
+sealed under :mod:`repro.dedup`, the wire form carries each page's chunk
+code alongside its PTE flags.  Before paying the interconnect, the shipper
+asks the destination pod's chunk index which codes it is missing and ships
+only those page payloads (plus the 8-byte-per-chunk hash listing); pages
+the destination already holds are adopted from its index at materialize
+time instead of traversing the wire.  With dedup off the wire form is
+byte-identical to the non-dedup encoding and every page ships, so the
+pinned replication digests are unaffected.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -87,23 +98,35 @@ def wire_image(checkpoint) -> dict:
 
 def _cxlfork_wire(ckpt: CxlForkCheckpoint) -> dict:
     flag_mask = np.int64(PTE_FLAG_MASK)
+    dedup = ckpt.chunk_codes is not None
     leaves = []
     for leaf_index in sorted(ckpt.leaf_offsets):
         leaf: PteLeaf = ckpt.heap.deref(ckpt.leaf_offsets[leaf_index])
         positions = np.nonzero(leaf.ptes)[0]
-        leaves.append(
-            {
-                "index": int(leaf_index),
-                "pos": positions.tolist(),
-                "flags": (leaf.ptes[positions] & flag_mask).tolist(),
-            }
-        )
+        entry = {
+            "index": int(leaf_index),
+            "pos": positions.tolist(),
+            "flags": (leaf.ptes[positions] & flag_mask).tolist(),
+        }
+        if dedup:
+            # Chunk codes ride the wire so the destination can adopt pages
+            # it already holds instead of receiving their payloads.  Only
+            # present when the image was sealed dedup-on: a dedup-off
+            # checkpoint's wire form stays byte-identical to before.
+            # Fixed-width (8 bytes/code) so the blob size depends on the
+            # page count alone, never on the code values.
+            recorded = ckpt.chunk_codes.get(int(leaf_index))
+            if recorded is None:
+                entry["codes"] = bytes(8 * int(positions.size))
+            else:
+                entry["codes"] = recorded[positions].astype("<i8").tobytes()
+        leaves.append(entry)
     vma_leaves = []
     for offset in ckpt.vma_leaf_offsets:
         leaf: VmaLeaf = ckpt.heap.deref(offset)
         vma_leaves.append([VmaRecord.capture(v).to_wire() for v in leaf.vmas])
     regs: RegsRecord = ckpt.heap.deref(ckpt.regs_offset)
-    return {
+    wire = {
         "mech": "cxlfork",
         "comm": ckpt.comm,
         "leaves": leaves,
@@ -112,12 +135,15 @@ def _cxlfork_wire(ckpt: CxlForkCheckpoint) -> dict:
         "global": ckpt.heap.deref(ckpt.global_offset),
         "present_pages": ckpt.present_pages,
     }
+    if dedup:
+        wire["zero_elided"] = int(ckpt.zero_elided_pages)
+    return wire
 
 
 def _criu_wire(ckpt: CriuCheckpoint) -> dict:
     if ckpt.task_record is None:
         raise ReplicationError(f"CRIU image {ckpt.image_id!r} has no task record")
-    return {
+    wire = {
         "mech": "criu-cxl",
         "comm": ckpt.comm,
         "task": ckpt.task_record.to_wire(),
@@ -126,6 +152,14 @@ def _criu_wire(ckpt: CriuCheckpoint) -> dict:
         "dumped_pages": ckpt.dumped_pages,
         "metadata_bytes": ckpt.metadata_bytes,
     }
+    if ckpt.page_codes.size:
+        # vpn -> content code for every dumped page (dedup-on seals only).
+        wire["chunks"] = {
+            "vpns": ckpt.page_code_vpns.astype("<i8").tobytes(),
+            "codes": ckpt.page_codes.astype("<i8").tobytes(),
+        }
+        wire["zero_elided"] = int(ckpt.zero_elided_pages)
+    return wire
 
 
 def encode_image(checkpoint, *, codec: Optional[Codec] = None) -> bytes:
@@ -140,6 +174,33 @@ def shipped_bytes(checkpoint, blob: bytes) -> int:
     alongside it and dominate the transfer for real functions.
     """
     return len(blob) + getattr(checkpoint, "data_bytes", 0)
+
+
+#: Per-chunk hash listing overhead on the delta wire (a truncated 64-bit
+#: content code per unique chunk, matching :mod:`repro.dedup`'s code width).
+HASH_WIRE_BYTES = 8
+
+
+def _decode_codes(buf: bytes) -> np.ndarray:
+    """Fixed-width wire form back to an int64 code array (always a copy)."""
+    return np.frombuffer(buf, dtype="<i8").astype(np.int64)
+
+
+def wire_chunk_codes(wire: dict) -> np.ndarray:
+    """Every chunk code a wire image carries (empty when sealed dedup-off)."""
+    if wire.get("mech") == "cxlfork":
+        chunks = [
+            _decode_codes(entry["codes"])
+            for entry in wire["leaves"]
+            if "codes" in entry
+        ]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+    payload = wire.get("chunks")
+    if payload is None:
+        return np.empty(0, dtype=np.int64)
+    return _decode_codes(payload["codes"])
 
 
 # -- materialization -----------------------------------------------------------
@@ -169,13 +230,31 @@ def _materialize_cxlfork(wire: dict, pod, codec: Codec):
     ckpt.source_node = f"replica@{pod.name}"
     rebaser = Rebaser(ckpt.heap)
     frame_chunks: list[np.ndarray] = []
+    interner = None
+    if any("codes" in entry for entry in wire["leaves"]):
+        # Dedup-sealed image: resolve each shipped code against the
+        # destination's chunk index — adopt chunks it already holds, and
+        # allocate + register the ones that traversed the wire, so the
+        # landed replica both *consumes* and *seeds* dedup on this pod.
+        from repro.dedup.seal import ChunkInterner
+
+        interner = ChunkInterner(fabric.chunk_index, fabric)
+        ckpt.chunk_codes = {}
+        ckpt.zero_elided_pages = int(wire.get("zero_elided", 0))
     try:
         total_present = 0
         for entry in wire["leaves"]:
             new_ptes = np.zeros(PTES_PER_LEAF, dtype=np.int64)
             positions = np.asarray(entry["pos"], dtype=np.int64)
             if positions.size:
-                frames = fabric.alloc_frames(int(positions.size))
+                if interner is not None:
+                    leaf_codes = _decode_codes(entry["codes"])
+                    frames = interner.intern_leaf(leaf_codes)
+                    recorded = np.zeros(PTES_PER_LEAF, dtype=np.int64)
+                    recorded[positions] = leaf_codes
+                    ckpt.chunk_codes[int(entry["index"])] = recorded
+                else:
+                    frames = fabric.alloc_frames(int(positions.size))
                 frame_chunks.append(frames)
                 flags = np.asarray(entry["flags"], dtype=np.int64)
                 new_ptes[positions] = (frames << np.int64(PTE_FRAME_SHIFT)) | flags
@@ -188,6 +267,9 @@ def _materialize_cxlfork(wire: dict, pod, codec: Codec):
         ckpt.present_pages = total_present
         if frame_chunks:
             ckpt.data_frames = np.concatenate(frame_chunks)
+        if interner is not None:
+            interner.finish()
+            ckpt.shared_chunk_pages = interner.shared_pages
 
         vma_bytes = 0
         for records in wire["vma_leaves"]:
@@ -229,6 +311,8 @@ def _materialize_cxlfork(wire: dict, pod, codec: Codec):
         ckpt.verify_detached()
     except BaseException:
         # A failed materialization must not strand destination frames.
+        if interner is not None:
+            interner.abort()
         if frame_chunks:
             fabric.put_frames(np.concatenate(frame_chunks))
         ckpt.data_frames = np.empty(0, dtype=np.int64)
@@ -236,11 +320,14 @@ def _materialize_cxlfork(wire: dict, pod, codec: Codec):
         ckpt.heap.release()
         raise
 
+    # Adopted chunks are already device-resident; only the pages that
+    # actually traversed the wire pay the non-temporal landing stores.
+    landed_data_bytes = ckpt.data_bytes - ckpt.shared_chunk_pages * PAGE_SIZE
     n_structs = ckpt.pagetable.leaf_count + len(ckpt.vma_leaves)
     n_records = n_structs + sum(len(r) for r in wire["vma_leaves"]) + 2
     install_ns = (
         codec.costs.decode_ns(ckpt.metadata_bytes + vma_bytes, n_records)
-        + latency.copy_ns(ckpt.data_bytes, src_cxl=False, dst_cxl=True)
+        + latency.copy_ns(landed_data_bytes, src_cxl=False, dst_cxl=True)
         + latency.copy_ns(
             ckpt.pagetable.leaf_count * PAGE_SIZE, src_cxl=False, dst_cxl=True
         )
@@ -262,6 +349,33 @@ def _materialize_criu(wire: dict, pod, codec: Codec):
     ckpt.pagemaps = [PagemapRecord.from_wire(w) for w in wire["pagemaps"]]
     ckpt.dumped_pages = wire["dumped_pages"]
 
+    chunks = wire.get("chunks")
+    interner = None
+    if chunks is not None:
+        # Dedup-sealed image: dumped pages whose chunks this pod already
+        # holds resolve to adopted frames; the rest land in pages.img.
+        from repro.dedup.seal import ChunkInterner
+
+        fabric = pod.fabric
+        interner = ChunkInterner(fabric.chunk_index, fabric)
+        ckpt.page_code_vpns = _decode_codes(chunks["vpns"])
+        ckpt.page_codes = _decode_codes(chunks["codes"])
+        ckpt.zero_elided_pages = int(wire.get("zero_elided", 0))
+        adopted: list[int] = []
+        try:
+            for code in ckpt.page_codes.tolist():
+                frame = interner.adopt_only(int(code))
+                if frame is not None:
+                    adopted.append(frame)
+        except BaseException:
+            interner.abort()
+            if adopted:
+                fabric.put_frames(np.asarray(adopted, dtype=np.int64))
+            raise
+        ckpt.chunk_frames = np.asarray(adopted, dtype=np.int64)
+        ckpt.dedup_pages = len(adopted)
+        interner.finish()
+
     blob_t = codec.encode(wire["task"])
     blob_v = codec.encode(wire["vmas"])
     blob_m = codec.encode(wire["pagemaps"])
@@ -269,7 +383,7 @@ def _materialize_criu(wire: dict, pod, codec: Codec):
     cxlfs.write_file(f"{prefix}/task.img", len(blob_t))
     cxlfs.write_file(f"{prefix}/vmas.img", len(blob_v))
     cxlfs.write_file(f"{prefix}/pagemap.img", len(blob_m))
-    cxlfs.write_file(f"{prefix}/pages.img", ckpt.data_bytes)
+    cxlfs.write_file(f"{prefix}/pages.img", ckpt.stored_data_bytes)
     ckpt.metadata_bytes = len(blob_t) + len(blob_v) + len(blob_m)
     if ckpt.metadata_bytes != wire["metadata_bytes"]:
         raise ReplicationError(
@@ -279,7 +393,7 @@ def _materialize_criu(wire: dict, pod, codec: Codec):
     n_records = 4 + len(ckpt.vma_records) + len(ckpt.pagemaps)
     install_ns = codec.costs.decode_ns(
         ckpt.metadata_bytes, n_records
-    ) + latency.copy_ns(ckpt.cxl_bytes, src_cxl=False, dst_cxl=True)
+    ) + latency.copy_ns(ckpt.resident_cxl_bytes, src_cxl=False, dst_cxl=True)
     return ckpt, install_ns
 
 
@@ -295,6 +409,38 @@ class ReplicationStats:
     dedup_hits: int = 0
     encode_cache_hits: int = 0
     failed: int = 0
+
+
+@dataclass
+class DeltaStats:
+    """Delta-replication counters, kept separate from
+    :class:`ReplicationStats` (whose shape pinned digests depend on).
+    All zero unless dedup-sealed images were shipped."""
+
+    #: Ships that negotiated a missing-set instead of sending every page.
+    delta_ships: int = 0
+    #: Unique chunks the destination already held (payload never shipped).
+    chunks_deduped: int = 0
+    #: Page payload a full ship would have moved.
+    full_page_bytes: int = 0
+    #: Page payload actually moved (missing chunks only).
+    wire_page_bytes: int = 0
+    #: Chunk-hash listing overhead paid for the negotiation.
+    hash_bytes: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.full_page_bytes - self.wire_page_bytes - self.hash_bytes
+
+    def snapshot(self) -> dict:
+        return {
+            "delta_ships": self.delta_ships,
+            "chunks_deduped": self.chunks_deduped,
+            "full_page_bytes": self.full_page_bytes,
+            "wire_page_bytes": self.wire_page_bytes,
+            "hash_bytes": self.hash_bytes,
+            "bytes_saved": self.bytes_saved,
+        }
 
 
 @dataclass
@@ -318,26 +464,54 @@ class Replicator:
         self.user = user
         self.codec = codec or Codec()
         self.stats = ReplicationStats()
+        self.delta = DeltaStats()
         self._inflight: dict[tuple, _InFlight] = {}
         # Encoded-blob cache: the wire image is canonical content (see the
         # module docstring), so pushing one checkpoint to N pods can encode
-        # once and reuse the bytes.  Keyed by object identity with a strong
-        # reference held, so a re-checkpoint (a new object) never matches a
-        # stale entry.  Decoding stays per-ship: materialize() stores parts
-        # of the wire dict by reference into the destination heap.
-        self._blob_cache: dict[int, tuple[object, bytes]] = {}
+        # once and reuse the bytes.  Dedup-sealed images are keyed by their
+        # content hash (mechanism + comm + chunk codes), so a re-seal of
+        # identical state — a different object — still hits; images without
+        # codes fall back to object identity with a strong reference held.
+        # Decoding stays per-ship: materialize() stores parts of the wire
+        # dict by reference into the destination heap.
+        self._blob_cache: dict[tuple, tuple[object, bytes]] = {}
 
     _BLOB_CACHE_MAX = 8
 
+    @staticmethod
+    def _cache_key(checkpoint) -> tuple:
+        key = getattr(checkpoint, "_content_key", None)
+        if key is not None:
+            return key
+        codes = None
+        chunk_codes = getattr(checkpoint, "chunk_codes", None)
+        if chunk_codes is not None:
+            codes = b"".join(
+                chunk_codes[i].tobytes() for i in sorted(chunk_codes)
+            )
+        else:
+            page_codes = getattr(checkpoint, "page_codes", None)
+            if page_codes is not None and page_codes.size:
+                codes = page_codes.tobytes()
+        if codes is None:
+            return ("id", id(checkpoint))
+        digest = hashlib.sha256()
+        digest.update(f"{type(checkpoint).__name__}:{checkpoint.comm}:".encode())
+        digest.update(codes)
+        key = ("content", digest.hexdigest())
+        checkpoint._content_key = key
+        return key
+
     def _encoded_blob(self, checkpoint) -> bytes:
-        cached = self._blob_cache.get(id(checkpoint))
-        if cached is not None and cached[0] is checkpoint:
+        key = self._cache_key(checkpoint)
+        cached = self._blob_cache.get(key)
+        if cached is not None and (key[0] == "content" or cached[0] is checkpoint):
             self.stats.encode_cache_hits += 1
             return cached[1]
         blob = self.codec.encode(wire_image(checkpoint))
         if len(self._blob_cache) >= self._BLOB_CACHE_MAX:
             self._blob_cache.pop(next(iter(self._blob_cache)))
-        self._blob_cache[id(checkpoint)] = (checkpoint, blob)
+        self._blob_cache[key] = (checkpoint, blob)
         return blob
 
     def ship(
@@ -371,7 +545,37 @@ class Replicator:
         # Encode now: once the bytes are on the wire, a source-pod crash
         # cannot lose the transfer (mitosis-style ship, not remote paging).
         blob = self._encoded_blob(entry.checkpoint)
+        wire = self.codec.decode(blob)
         nbytes = shipped_bytes(entry.checkpoint, blob)
+        codes = wire_chunk_codes(wire)
+        if codes.size:
+            # Delta negotiation: ship the chunk-hash listing, ask the
+            # destination which chunks it is missing, and move only those
+            # payloads.  A destination with no index yet misses everything
+            # — but still receives each unique chunk once, so intra-image
+            # duplicates never pay the wire twice.
+            uniq = np.unique(codes)
+            uniq = uniq[uniq != 0]
+            dst_index = getattr(dst.fabric, "_chunk_index", None)
+            missing = (
+                dst_index.missing_codes(codes) if dst_index is not None else uniq
+            )
+            full_page_bytes = nbytes - len(blob)
+            wire_page_bytes = int(missing.size) * PAGE_SIZE
+            hash_bytes = int(uniq.size) * HASH_WIRE_BYTES
+            nbytes = len(blob) + wire_page_bytes + hash_bytes
+            self.delta.delta_ships += 1
+            self.delta.chunks_deduped += int(uniq.size - missing.size)
+            self.delta.full_page_bytes += full_page_bytes
+            self.delta.wire_page_bytes += wire_page_bytes
+            self.delta.hash_bytes += hash_bytes
+            if dst_index is not None:
+                dst_index.stats.wire_chunks_deduped += int(uniq.size - missing.size)
+            TRACE.count("cluster.delta_ships")
+            TRACE.count(
+                "cluster.delta_bytes_saved",
+                full_page_bytes - wire_page_bytes - hash_bytes,
+            )
         delay = self.interconnect.transfer_ns(
             src.name, dst.name, nbytes, now=self.queue.now
         )
@@ -384,8 +588,6 @@ class Replicator:
         if on_done is not None:
             flight.waiters.append(on_done)
         self._inflight[key] = flight
-
-        wire = self.codec.decode(blob)
         mechanism = entry.mechanism
         plan = getattr(entry, "plan", None)
 
@@ -434,11 +636,14 @@ class Replicator:
 
 
 __all__ = [
+    "DeltaStats",
+    "HASH_WIRE_BYTES",
     "ReplicationError",
     "ReplicationStats",
     "Replicator",
     "encode_image",
     "materialize",
     "shipped_bytes",
+    "wire_chunk_codes",
     "wire_image",
 ]

@@ -32,6 +32,19 @@ class CxlFabric:
         #: Optional bandwidth contention model (see repro.cxl.bandwidth);
         #: None means an uncontended fabric (the paper's 2-node testbed).
         self.bandwidth = None
+        #: Content-addressed chunk index (lazy; see repro.dedup).  One per
+        #: fabric because content identity is pod-wide: every node sees the
+        #: same frames, so one index serves every sealing mechanism.
+        self._chunk_index = None
+
+    @property
+    def chunk_index(self):
+        """The pod's content-addressed chunk index (created on first use)."""
+        if self._chunk_index is None:
+            from repro.dedup.chunkindex import ChunkIndex
+
+            self._chunk_index = ChunkIndex(self)
+        return self._chunk_index
 
     def contention_factor(self) -> float:
         """Current inflation of effective CXL access latency (>= 1.0)."""

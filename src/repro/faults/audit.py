@@ -22,7 +22,16 @@ Ownership rules mirror ``Kernel.exit_task`` exactly:
   the shared :class:`~repro.os.fs.cxlfs.CxlFileSystem`, which is walked
   independently;
 * page caches hold one reference per cached page; pinned fabric regions
-  one per frame.
+  one per frame;
+* dedup'd criu-cxl checkpoints hold one reference per adopted chunk frame
+  (``chunk_frames``) — cxlfork adopted frames already ride in
+  ``data_frames`` with multiplicity.
+
+When a :class:`~repro.dedup.chunkindex.ChunkIndex` is in play the audit
+additionally cross-checks its sharer census against the live checkpoints
+(:meth:`ChunkIndex.audit`): every indexed frame's sharer count must equal
+the number of live checkpoints listing it, and the code→frame /
+frame→code maps must be exact inverses.
 
 Quarantined pools (dead nodes) report clean: their memory died with the
 node and stale references against them are no-ops by construction.
@@ -117,6 +126,9 @@ def expected_refcounts(
         heap = getattr(ckpt, "heap", None)
         if heap is not None and heap.backing_frames.size:
             _bump(cxl, heap.backing_frames)
+        shared_chunks = getattr(ckpt, "chunk_frames", None)
+        if shared_chunks is not None and shared_chunks.size:
+            _bump(cxl, shared_chunks)
         shadow = getattr(ckpt, "shadow_frames", None)
         if shadow is not None and shadow.size:
             parent = ckpt.parent_node
@@ -154,13 +166,19 @@ def expected_refcounts(
 
 @dataclass
 class PodAudit:
-    """Leak reports for the CXL pool and every node's DRAM pool."""
+    """Leak reports for the CXL pool and every node's DRAM pool.
+
+    ``dedup_mismatches`` lists chunk-index bookkeeping errors (sharer count
+    vs live-checkpoint census, map asymmetry) — a non-empty list fails the
+    audit exactly like a leaked frame.
+    """
 
     reports: list[LeakReport] = field(default_factory=list)
+    dedup_mismatches: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return all(r.clean for r in self.reports)
+        return all(r.clean for r in self.reports) and not self.dedup_mismatches
 
     @property
     def leaked_frames(self) -> int:
@@ -169,7 +187,9 @@ class PodAudit:
     def describe(self) -> str:
         if self.clean:
             return "audit clean: no leaked frames"
-        return "; ".join(r.describe() for r in self.reports if not r.clean)
+        parts = [r.describe() for r in self.reports if not r.clean]
+        parts.extend(f"dedup: {m}" for m in self.dedup_mismatches)
+        return "; ".join(parts)
 
 
 def audit_pod(
@@ -179,14 +199,17 @@ def audit_pod(
     cxlfs=None,
     checkpoints: Iterable = (),
     ghost_pools: Iterable = (),
+    chunk_index=None,
 ) -> PodAudit:
     """Cross-check every pool's refcounts against the live-owner model.
 
     ``checkpoints`` must list every checkpoint the caller considers live
     (not yet deleted); anything holding frames that is not enumerated here
-    shows up as a leak — which is the point.
+    shows up as a leak — which is the point.  ``chunk_index``, when given,
+    has its sharer census audited against the same checkpoint list.
     """
     nodes = list(nodes)
+    checkpoints = list(checkpoints)
     cxl_expected, dram_expected = expected_refcounts(
         fabric, nodes, cxlfs=cxlfs, checkpoints=checkpoints, ghost_pools=ghost_pools
     )
@@ -194,6 +217,8 @@ def audit_pod(
     audit.reports.append(fabric.device.frames.audit(cxl_expected))
     for node in nodes:
         audit.reports.append(node.dram.audit(dram_expected.get(node.name, {})))
+    if chunk_index is not None:
+        audit.dedup_mismatches.extend(chunk_index.audit(checkpoints))
     return audit
 
 

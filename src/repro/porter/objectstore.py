@@ -20,6 +20,17 @@ _DIRECTORY_PAGES = 16
 LOOKUP_NS = 800.0
 
 
+def _resident_bytes(checkpoint) -> int:
+    """Device bytes an image actually occupies.  Dedup-sealed images
+    expose ``resident_cxl_bytes`` (chunk frames shared with other
+    checkpoints are borrowed, not owned, so evicting the image cannot
+    free them); identical to ``cxl_bytes`` for dedup-off images."""
+    resident = getattr(checkpoint, "resident_cxl_bytes", None)
+    if resident is not None:
+        return resident
+    return getattr(checkpoint, "cxl_bytes", 0)
+
+
 @dataclass
 class StoredCheckpoint:
     """One object-store entry."""
@@ -116,7 +127,7 @@ class CheckpointObjectStore:
         for entry in entries:
             if freed >= target_bytes:
                 break
-            size = getattr(entry.checkpoint, "cxl_bytes", 0)
+            size = _resident_bytes(entry.checkpoint)
             self.evict(entry.cid)
             freed += size
         return freed
@@ -126,7 +137,7 @@ class CheckpointObjectStore:
 
     @property
     def cxl_bytes(self) -> int:
-        return sum(getattr(e.checkpoint, "cxl_bytes", 0) for e in self._by_cid.values())
+        return sum(_resident_bytes(e.checkpoint) for e in self._by_cid.values())
 
     def close(self) -> None:
         for cid in list(self._by_cid):

@@ -46,6 +46,11 @@ def checkpoint_frames(checkpoint) -> np.ndarray:
         for path in checkpoint.file_paths:
             if cxlfs.exists(path):
                 chunks.append(np.asarray(cxlfs.stat(path).frames, dtype=np.int64))
+        # Dedup'd criu-cxl pages live in adopted chunk frames, not in
+        # pages.img — they are image bytes all the same and must verify.
+        shared = getattr(checkpoint, "chunk_frames", None)
+        if shared is not None and shared.size:
+            chunks.append(np.asarray(shared, dtype=np.int64))
     if not chunks:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(chunks)

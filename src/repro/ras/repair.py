@@ -70,6 +70,14 @@ class Repairer:
     ``mechanism`` the recheckpoint rung, and ``replica_available`` the
     replica rung (``link`` prices the fetch; RDMA by default, matching
     the PR 6 replication fabric).
+
+    ``co_checkpoints`` lists the other live checkpoints that may share
+    dedup'd chunk frames with the one under repair.  A poisoned frame
+    whose every extra reference is such a co-checkpoint's chunk listing
+    is repaired **once** — fresh frame, content restored, chunk index
+    re-pointed — and every sharer's image is rewritten to the new frame.
+    Extra references from live *children* (mapped PTEs) still refuse, as
+    before: a child's mapping cannot be retargeted.
     """
 
     RUNGS = ("cow", "replica", "recheckpoint")
@@ -84,6 +92,7 @@ class Repairer:
         link: LinkSpec = RDMA,
         retry: Optional[RetryPolicy] = None,
         rng=None,
+        co_checkpoints=(),
     ) -> None:
         if policy != "ladder" and policy not in self.RUNGS:
             raise ValueError(f"unknown repair policy {policy!r}")
@@ -94,6 +103,7 @@ class Repairer:
         self.link = link
         self.retry = retry or RetryPolicy()
         self.rng = rng
+        self.co_checkpoints = list(co_checkpoints)
 
     # -- public entry ---------------------------------------------------------
 
@@ -213,7 +223,23 @@ class Repairer:
         if getattr(checkpoint, "data_frames", None) is not None:
             nbytes = self._swap_frames(checkpoint, bad)
         else:
-            nbytes = self._rewrite_files(checkpoint, bad)
+            # criu-cxl: poison may hit the image files, the adopted chunk
+            # frames (dedup), or both — files rewrite in place, chunk
+            # frames get the shared-frame swap.
+            chunk_frames = getattr(checkpoint, "chunk_frames", None)
+            bad_chunks = (
+                bad[np.isin(bad, chunk_frames)]
+                if chunk_frames is not None and np.size(chunk_frames)
+                else np.empty(0, dtype=np.int64)
+            )
+            bad_files = bad[~np.isin(bad, bad_chunks)]
+            nbytes = 0
+            if bad_files.size:
+                nbytes += self._rewrite_files(checkpoint, bad_files)
+            if bad_chunks.size:
+                nbytes += self._swap_frames(checkpoint, bad_chunks)
+            if nbytes == 0:
+                raise RepairUnavailableError("no affected image file found")
         link = self.link
         transfer_ns = (
             link.setup_ns + link.latency_ns + link.serialization_ns(nbytes)
@@ -241,23 +267,54 @@ class Repairer:
 
     # -- frame surgery --------------------------------------------------------
 
-    def _swap_frames(self, checkpoint, bad: np.ndarray) -> int:
-        """Replace ``bad`` frames of a cxlfork image with fresh ones.
+    def _chunk_sharers(self, checkpoint, bad: np.ndarray):
+        """Map each multiply-referenced bad frame to its co-owner images.
 
-        Rewrites the checkpointed PTE leaves (preserving flag bits), the
-        ``data_frames`` array, and the metadata heap's backing list, then
-        drops the old frames — their last reference offlines them.  Only
-        legal while the image is the sole owner: live children map the old
-        frames and cannot be retargeted, so shared frames escalate.
+        Legal only when *every* extra reference is a live co-checkpoint's
+        chunk listing (``data_frames`` for cxlfork adopters, ``chunk_frames``
+        for criu-cxl) and the chunk index's sharer count matches the pool
+        refcount exactly — any unexplained reference means a live child
+        maps the frame, and the repair must escalate as before.
         """
         pool = self._pool(checkpoint)
-        if np.any(pool.refcounts(bad) != 1):
+        refs = pool.refcounts(bad)
+        shared = bad[refs != 1]
+        if shared.size == 0:
+            return {}
+        index = getattr(self._fabric(checkpoint), "_chunk_index", None)
+        if index is None:
             raise RepairUnavailableError(
                 "poisoned frames are shared with live children"
             )
-        fabric = self._fabric(checkpoint)
-        fresh = fabric.alloc_frames(int(bad.size))
-        mapping = dict(zip((int(f) for f in bad), (int(f) for f in fresh)))
+        co = [
+            c
+            for c in self.co_checkpoints
+            if c is not checkpoint and not getattr(c, "_deleted", False)
+        ]
+        co_owners: dict[int, list] = {}
+        for frame, rc in zip(shared.tolist(), pool.refcounts(shared).tolist()):
+            if index.sharer_count(frame) != rc:
+                raise RepairUnavailableError(
+                    "poisoned frames are shared with live children"
+                )
+            owners = []
+            for other in co:
+                listing = getattr(other, "data_frames", None)
+                if listing is None:
+                    listing = getattr(other, "chunk_frames", None)
+                if listing is not None and np.isin(frame, listing):
+                    owners.append(other)
+            if len(owners) != rc - 1:
+                raise RepairUnavailableError(
+                    f"chunk frame {frame} has {rc} sharer(s) but only "
+                    f"{len(owners) + 1} enumerated co-checkpoint(s)"
+                )
+            co_owners[frame] = owners
+        return co_owners
+
+    @staticmethod
+    def _rewrite_image(checkpoint, mapping: dict) -> None:
+        """Retarget one image's frame references through ``mapping``."""
         pt = getattr(checkpoint, "pagetable", None)
         if pt is not None:
             for _, leaf in pt.leaves():
@@ -272,14 +329,55 @@ class Repairer:
                             (np.int64(new) << np.int64(PTE_FRAME_SHIFT))
                             | (leaf.ptes[hit] & _FLAG_MASK)
                         )
-        data = checkpoint.data_frames
-        for old, new in mapping.items():
-            data[data == old] = new
-        heap_frames = getattr(checkpoint.heap, "_frames", None)
+        data = getattr(checkpoint, "data_frames", None)
+        if data is not None:
+            for old, new in mapping.items():
+                data[data == old] = new
+        chunk_frames = getattr(checkpoint, "chunk_frames", None)
+        if chunk_frames is not None and np.size(chunk_frames):
+            for old, new in mapping.items():
+                chunk_frames[chunk_frames == old] = new
+        heap_frames = getattr(getattr(checkpoint, "heap", None), "_frames", None)
         if heap_frames is not None:
             for old, new in mapping.items():
                 heap_frames[heap_frames == old] = new
-        fabric.put_frames(bad)  # refcount 1 -> 0: auto-offline
+
+    def _swap_frames(self, checkpoint, bad: np.ndarray) -> int:
+        """Replace ``bad`` frames of a cxlfork image with fresh ones.
+
+        Rewrites the checkpointed PTE leaves (preserving flag bits), the
+        ``data_frames`` array, and the metadata heap's backing list, then
+        drops the old frames — their last reference offlines them.  A
+        frame shared through the chunk index is repaired once: every
+        enumerated co-checkpoint is rewritten to the fresh frame and the
+        index is re-pointed, so sharers keep sharing the repaired copy.
+        Frames referenced by live children still escalate.
+        """
+        pool = self._pool(checkpoint)
+        co_owners = self._chunk_sharers(checkpoint, bad)
+        fabric = self._fabric(checkpoint)
+        index = getattr(fabric, "_chunk_index", None)
+        fresh = fabric.alloc_frames(int(bad.size))
+        mapping = dict(zip((int(f) for f in bad), (int(f) for f in fresh)))
+        self._rewrite_image(checkpoint, mapping)
+        rewritten = set()
+        for old, owners in co_owners.items():
+            new = mapping[old]
+            for other in owners:
+                if id(other) not in rewritten:
+                    self._rewrite_image(other, mapping)
+                    rewritten.add(id(other))
+                # The co-owner's reference moves from the old frame to the
+                # repaired one (the old ref is dropped in the put loop).
+                fabric.get_frames(np.array([new], dtype=np.int64))
+        if index is not None:
+            for old, new in mapping.items():
+                index.repoint(old, new)
+        fabric.put_frames(bad)  # this image's reference on every bad frame
+        for old, owners in co_owners.items():
+            for _ in owners:  # each co-owner's old reference
+                fabric.put_frames(np.array([old], dtype=np.int64))
+        # Every reference is gone now: poisoned frames auto-offline.
         return int(bad.size) * PAGE_SIZE
 
     def _rewrite_files(self, checkpoint, bad: np.ndarray) -> int:

@@ -18,7 +18,10 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.dedup import DEDUP
+from repro.dedup.seal import ChunkInterner, seal_codes
 from repro.os.fs.cxlfs import CxlFileSystem
+from repro.os.mm.pagetable import PTES_PER_LEAF
 from repro.os.mm.pte import PteFlags
 from repro.os.mm.vma import VmaKind
 from repro.os.node import ComputeNode
@@ -44,7 +47,7 @@ from repro.serial.records import (
     task_to_records,
     vma_records,
 )
-from repro.sim.npx import count_in_range, ensure_sorted
+from repro.sim.npx import count_in_range, ensure_sorted, mask_in_range
 from repro.sim.units import PAGE_SIZE
 from repro.telemetry import TRACE
 
@@ -69,6 +72,15 @@ class CriuCheckpoint:
         self.dumped_pages = 0
         self.metadata_bytes = 0
         self._deleted = False
+        #: Dedup (repro.dedup): sorted vpns of dumped pages and their
+        #: content codes (empty when sealed with dedup off).
+        self.page_code_vpns = np.empty(0, dtype=np.int64)
+        self.page_codes = np.empty(0, dtype=np.int64)
+        #: Chunk frames adopted from the pod's index instead of being
+        #: stored in pages.img (this image holds one fabric ref per frame).
+        self.chunk_frames = np.empty(0, dtype=np.int64)
+        self.dedup_pages = 0
+        self.zero_elided_pages = 0
 
     @property
     def file_paths(self) -> list:
@@ -77,16 +89,37 @@ class CriuCheckpoint:
 
     @property
     def data_bytes(self) -> int:
+        """Logical payload: every dumped page, wherever it is stored.
+        Restore copies (and a full ship transfers) all of it, so dedup
+        must not change this — only where the bytes live."""
         return self.dumped_pages * PAGE_SIZE
+
+    @property
+    def stored_data_bytes(self) -> int:
+        """Bytes actually written to pages.img (dedup'd pages resolve to
+        shared chunk frames instead)."""
+        return (self.dumped_pages - self.dedup_pages) * PAGE_SIZE
 
     @property
     def cxl_bytes(self) -> int:
         return self.data_bytes + self.metadata_bytes
 
+    @property
+    def resident_cxl_bytes(self) -> int:
+        """Device bytes this image added: pages.img + metadata.  Adopted
+        chunk frames are borrowed from other checkpoints, not added."""
+        return self.stored_data_bytes + self.metadata_bytes
+
     def delete(self) -> None:
         if self._deleted:
             return
         self._deleted = True
+        if self.chunk_frames.size:
+            fabric = self.cxlfs.fabric
+            index = getattr(fabric, "_chunk_index", None)
+            if index is not None:
+                index.release(self.chunk_frames)
+            fabric.put_frames(self.chunk_frames)
         for path in self.file_paths:
             if self.cxlfs.exists(path):
                 self.cxlfs.unlink(path)
@@ -136,31 +169,80 @@ class CriuCxl(RemoteForkMechanism):
                 )
             ckpt.dumped_pages = dumped
 
+            # Content-addressed dump (repro.dedup): resolve each dumped
+            # page's content code; pages whose chunk the pod already holds
+            # are *adopted* (one fabric ref on the shared frame) instead of
+            # being written into pages.img.  CRIU only consumes the index —
+            # its stored pages live inside image files, not one-page frames,
+            # so misses are never registered as chunks.
+            if DEDUP.active():
+                fabric = node.fabric
+                index = fabric.chunk_index
+                code_map, zero_elided = seal_codes(task, index)
+                interner = ChunkInterner(index, fabric)
+                vpn_chunks: list[np.ndarray] = []
+                code_chunks: list[np.ndarray] = []
+                chunk_frames: list[int] = []
+                for record in ckpt.pagemaps:
+                    clean = mask_in_range(
+                        file_clean_vpns, record.start_vpn, record.npages
+                    )
+                    vpns = record.start_vpn + np.nonzero(~clean)[0]
+                    if not vpns.size:
+                        continue
+                    codes = np.empty(vpns.size, dtype=np.int64)
+                    for i, vpn in enumerate(vpns):
+                        leaf_codes = code_map.get(int(vpn) // PTES_PER_LEAF)
+                        code = (
+                            int(leaf_codes[int(vpn) & (PTES_PER_LEAF - 1)])
+                            if leaf_codes is not None
+                            else 0
+                        )
+                        codes[i] = code
+                        frame = interner.adopt_only(code)
+                        if frame is not None:
+                            chunk_frames.append(frame)
+                    vpn_chunks.append(vpns)
+                    code_chunks.append(codes)
+                if vpn_chunks:
+                    ckpt.page_code_vpns = np.concatenate(vpn_chunks)
+                    ckpt.page_codes = np.concatenate(code_chunks)
+                ckpt.chunk_frames = np.asarray(chunk_frames, dtype=np.int64)
+                ckpt.dedup_pages = len(chunk_frames)
+                ckpt.zero_elided_pages = zero_elided
+                index.stats.zero_elided += zero_elided
+                interner.finish()
+
             # Serialize metadata + page data; write files to the CXL FS.
+            # With dedup on, pages.img only stores the non-adopted pages
+            # (serialization and file-write costs shrink with it); the
+            # logical data_bytes — what restore copies — is unchanged.
             task_wire = ckpt.task_record.to_wire()
             vma_wire = [r.to_wire() for r in ckpt.vma_records]
             map_wire = [r.to_wire() for r in ckpt.pagemaps]
             blob_t, t_ns = self.codec.encode_with_cost(task_wire, nrecords=4)
             blob_v, v_ns = self.codec.encode_with_cost(vma_wire, nrecords=len(vma_wire))
             blob_m, m_ns = self.codec.encode_with_cost(map_wire, nrecords=len(map_wire))
-            data_bytes = dumped * PAGE_SIZE
+            stored_pages = dumped - ckpt.dedup_pages
+            stored_bytes = stored_pages * PAGE_SIZE
             metrics.note("serialize_metadata", t_ns + v_ns + m_ns)
             metrics.note(
-                "serialize_pages", self.codec.costs.encode_ns(data_bytes, dumped)
+                "serialize_pages",
+                self.codec.costs.encode_ns(stored_bytes, stored_pages),
             )
             prefix = f"/criu/{ckpt.image_id}"
             self.cxlfs.write_file(f"{prefix}/task.img", len(blob_t))
             self.cxlfs.write_file(f"{prefix}/vmas.img", len(blob_v))
             self.cxlfs.write_file(f"{prefix}/pagemap.img", len(blob_m))
-            self.cxlfs.write_file(f"{prefix}/pages.img", data_bytes)
+            self.cxlfs.write_file(f"{prefix}/pages.img", stored_bytes)
             ckpt.metadata_bytes = len(blob_t) + len(blob_v) + len(blob_m)
             metrics.note(
                 "write_files",
                 latency.copy_ns(
-                    ckpt.metadata_bytes + data_bytes, src_cxl=False, dst_cxl=True
+                    ckpt.metadata_bytes + stored_bytes, src_cxl=False, dst_cxl=True
                 ),
             )
-            metrics.serialized_bytes = ckpt.metadata_bytes + data_bytes
+            metrics.serialized_bytes = ckpt.metadata_bytes + stored_bytes
             metrics.cxl_bytes = ckpt.cxl_bytes
             # Part of the operation: crash alarms in the window fire here.
             node.clock.advance(metrics.latency_ns)

@@ -23,6 +23,8 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.check import mutation as _mutation
+from repro.dedup import DEDUP
+from repro.dedup.seal import ChunkInterner, seal_codes
 from repro.os.kernel import CheckpointBacking
 from repro.os.mm.pagetable import PTES_PER_LEAF, PageTable, PteLeaf
 from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags
@@ -61,6 +63,9 @@ VMA_LEAF_ATTACH_NS = 2_000.0
 UPPER_TABLE_INIT_NS = 1_000.0
 #: Estimated in-CXL size of one VMA struct (excluding its path string).
 VMA_STRUCT_BYTES = 136
+#: Per-present-page cost of hashing + chunk-index lookup when dedup is on
+#: (a sha256 over 4 KiB plus one hash-table probe, both off the data path).
+CHUNK_LOOKUP_NS = 150.0
 
 _AD_HOT_MASK = np.int64(
     int(PteFlags.ACCESSED) | int(PteFlags.DIRTY) | int(PteFlags.HOT)
@@ -93,6 +98,15 @@ class CxlForkCheckpoint:
         self.rebased = False
         self.source_node = ""
         self._deleted = False
+        #: Content codes per PTE leaf (leaf index -> int64[PTES_PER_LEAF],
+        #: NO_CODE where absent).  None when the image was sealed with
+        #: dedup off; set by the seal and by replication materialize.
+        self.chunk_codes: Optional[dict[int, np.ndarray]] = None
+        #: Pages resolved to a chunk some *other* checkpoint already held
+        #: (borrowed frames — shared, so not this image's resident bytes).
+        self.shared_chunk_pages = 0
+        #: Anonymous pages elided as the zero chunk (never stored at all).
+        self.zero_elided_pages = 0
 
     # -- size accounting ---------------------------------------------------------
 
@@ -109,6 +123,29 @@ class CxlForkCheckpoint:
         return self.data_bytes + self.metadata_bytes
 
     @property
+    def resident_cxl_bytes(self) -> int:
+        """Device bytes this image *added*: logical size minus the pages it
+        shares from chunks other checkpoints already held."""
+        return self.cxl_bytes - self.shared_chunk_pages * PAGE_SIZE
+
+    def gather_chunk_codes(self, start_vpn: int, npages: int):
+        """Content codes for ``npages`` vpns (None if sealed without dedup)."""
+        if self.chunk_codes is None:
+            return None
+        out = np.zeros(npages, dtype=np.int64)
+        vpn = start_vpn
+        end = start_vpn + npages
+        while vpn < end:
+            leaf_index = vpn // PTES_PER_LEAF
+            lo = vpn & (PTES_PER_LEAF - 1)
+            hi = min(PTES_PER_LEAF, lo + (end - vpn))
+            codes = self.chunk_codes.get(leaf_index)
+            if codes is not None:
+                out[vpn - start_vpn : vpn - start_vpn + (hi - lo)] = codes[lo:hi]
+            vpn += hi - lo
+        return out
+
+    @property
     def max_vpn(self) -> int:
         if not self.vma_leaves:
             return 0
@@ -120,6 +157,13 @@ class CxlForkCheckpoint:
             return
         self._deleted = True
         if self.data_frames.size:
+            if self.chunk_codes is not None:
+                # Drop this image's sharer from every indexed chunk before
+                # the frame references go: entries with surviving sharers
+                # keep their frames alive through the other owners' refs.
+                index = getattr(self.fabric, "_chunk_index", None)
+                if index is not None:
+                    index.release(self.data_frames)
             self.fabric.put_frames(self.data_frames)
         self.heap.release()
 
@@ -181,6 +225,7 @@ class CxlFork(RemoteForkMechanism):
         task.freeze()
         ckpt: Optional[CxlForkCheckpoint] = None
         frame_chunks: list[np.ndarray] = []
+        interner: Optional[ChunkInterner] = None
         try:
             ckpt = CxlForkCheckpoint(task.comm, fabric, CxlHeap(fabric, f"ckpt:{task.comm}"))
             ckpt.source_node = node.name
@@ -192,6 +237,18 @@ class CxlFork(RemoteForkMechanism):
                 from repro.rfork.criu import CriuCxl
 
                 skip_vpns = CriuCxl._file_clean_pages(task)
+
+            # Content-addressed seal (repro.dedup): resolve every present
+            # page's content code up front, then intern pages through the
+            # pod's chunk index instead of unconditionally copying.
+            code_map = None
+            if DEDUP.active():
+                index = fabric.chunk_index
+                code_map, zero_elided = seal_codes(task, index)
+                interner = ChunkInterner(index, fabric)
+                ckpt.chunk_codes = {}
+                ckpt.zero_elided_pages = zero_elided
+                index.stats.zero_elided += zero_elided
 
             # 1. Copy data pages to CXL and build the rebased page table.
             base_flags = _CKPT_BASE_FLAGS
@@ -209,7 +266,16 @@ class CxlFork(RemoteForkMechanism):
                 count = int(np.count_nonzero(present))
                 new_ptes = np.zeros(PTES_PER_LEAF, dtype=np.int64)
                 if count:
-                    cxl_frames = fabric.alloc_frames(count)
+                    if interner is None:
+                        cxl_frames = fabric.alloc_frames(count)
+                    else:
+                        leaf_codes = code_map[leaf_index]
+                        cxl_frames = interner.intern_leaf(leaf_codes[present])
+                        # Record the *intended* codes PTE-aligned: restore
+                        # and the oracle cross-check frames against them.
+                        recorded = np.zeros(PTES_PER_LEAF, dtype=np.int64)
+                        recorded[present] = leaf_codes[present]
+                        ckpt.chunk_codes[leaf_index] = recorded
                     frame_chunks.append(cxl_frames)
                     preserved = leaf.ptes[present] & _AD_HOT_MASK
                     new_ptes[present] = (
@@ -226,9 +292,18 @@ class CxlFork(RemoteForkMechanism):
             ckpt.present_pages = total_present
             if frame_chunks:
                 ckpt.data_frames = np.concatenate(frame_chunks)
+            copied_pages = total_present
+            if interner is not None:
+                interner.finish()
+                ckpt.shared_chunk_pages = interner.shared_pages
+                # Shared pages are *not* copied — resolving to an existing
+                # chunk is the entire density win — but every present page
+                # pays the hash + index probe.
+                copied_pages -= interner.shared_pages
+                metrics.note("dedup_index", CHUNK_LOOKUP_NS * total_present)
             metrics.note(
                 "data_copy",
-                latency.copy_ns(total_present * PAGE_SIZE, src_cxl=False, dst_cxl=True),
+                latency.copy_ns(copied_pages * PAGE_SIZE, src_cxl=False, dst_cxl=True),
             )
             metrics.note(
                 "pagetable_copy",
@@ -315,6 +390,11 @@ class CxlFork(RemoteForkMechanism):
             # Crash consistency: an aborted checkpoint must leak nothing.
             # The frame chunk list (not ckpt.data_frames, which is only set
             # once all chunks are collected) covers partial allocations.
+            # With dedup, the interner's index effects (fresh registrations,
+            # adopted sharers) unwind first; the put below then drops the
+            # one reference each interned frame carries (alloc or adopt).
+            if interner is not None:
+                interner.abort()
             if frame_chunks:
                 fabric.put_frames(np.concatenate(frame_chunks))
             if ckpt is not None:

@@ -1,0 +1,161 @@
+"""Property-based: dedup-on interleavings conserve chunk refcounts.
+
+Two layers:
+
+* every generated fuzz scenario (fork storms, CoW writes, child exits,
+  barriers, crashes) must hold the oracle and the frame-leak audit with
+  dedup forced on, exactly as it does dedup-off — the differential
+  equivalence satellite;
+* a dedicated fork/write/exit/re-checkpoint interleaving machine whose
+  invariant after every step is the chunk-sharer census: each registered
+  frame's sharer count equals the number of live checkpoints listing it,
+  and tearing everything down drains the index to empty with zero leaked
+  frames.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.fuzz import ScenarioRunner, scenario_strategy
+from repro.check.invariants import check_pod
+from repro.dedup import DEDUP
+from repro.experiments.common import make_pod
+from repro.rfork.registry import get_mechanism
+from repro.sim.units import GIB
+
+pytestmark = pytest.mark.prop
+
+_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(max_examples=6, **_SETTINGS)
+@given(scenario=scenario_strategy(max_steps=12))
+def test_fuzz_scenarios_hold_with_dedup_on(scenario):
+    """Satellite: the PR-4 differential oracle passes every scenario with
+    dedup on — content-addressed placement must be invisible to resolved
+    child memory across all mechanisms."""
+    with DEDUP.force(True):
+        result = ScenarioRunner(scenario).run()
+    assert result.ok, result.failure
+    assert result.ops_applied == len(scenario.ops)
+
+
+@settings(max_examples=8, **_SETTINGS)
+@given(data=st.data())
+def test_interleavings_conserve_chunk_refcounts(data):
+    ops = data.draw(
+        st.lists(
+            st.sampled_from(["fork", "write", "exit", "reseal"]),
+            min_size=1,
+            max_size=14,
+        ),
+        label="ops",
+    )
+    with DEDUP.force(True):
+        pod = make_pod(node_count=2, dram_bytes=1 * GIB, cxl_bytes=4 * GIB)
+        kernel = pod.source.kernel
+        parent = kernel.spawn_task("prop-parent")
+        anon = kernel.map_anon_region(parent, 48, label="prop", populate=True)
+        kernel.map_anon_region(parent, 16, label="sparse", populate=False)
+        mech = get_mechanism("cxlfork", fabric=pod.fabric, cxlfs=pod.cxlfs)
+        base, _ = mech.checkpoint(parent)
+        checkpoints = [base]
+        children = []
+        index = pod.fabric.chunk_index
+
+        def census_holds():
+            problems = index.audit(checkpoints)
+            assert not problems, "; ".join(problems)
+
+        for op in ops:
+            if op == "fork":
+                source = checkpoints[
+                    data.draw(
+                        st.integers(0, len(checkpoints) - 1), label="ckpt"
+                    )
+                ]
+                children.append(mech.restore(source, pod.target).task)
+            elif op == "write" and children:
+                task = children[
+                    data.draw(st.integers(0, len(children) - 1), label="child")
+                ]
+                offset = data.draw(st.integers(0, 47), label="vpn")
+                pod.target.kernel.access_range(
+                    task, anon.start_vpn + offset, 1, write=True
+                )
+            elif op == "exit" and children:
+                task = children.pop(
+                    data.draw(st.integers(0, len(children) - 1), label="victim")
+                )
+                pod.target.kernel.exit_task(task)
+            elif op == "reseal" and children:
+                task = children[
+                    data.draw(st.integers(0, len(children) - 1), label="source")
+                ]
+                ckpt, _ = mech.checkpoint(task)
+                checkpoints.append(ckpt)
+            census_holds()
+
+        # Teardown in the only legal order: children, then the re-seals
+        # (never restored from), then the base image.
+        for task in children:
+            pod.target.kernel.exit_task(task)
+        for ckpt in reversed(checkpoints[1:]):
+            ckpt.delete()
+            checkpoints.remove(ckpt)
+        census_holds()
+        check_pod(
+            pod.fabric,
+            pod.nodes,
+            cxlfs=pod.cxlfs,
+            checkpoints=checkpoints,
+            audit=True,
+            raise_on_violation=True,
+        )
+        base.delete()
+        assert len(index) == 0
+        check_pod(
+            pod.fabric,
+            pod.nodes,
+            cxlfs=pod.cxlfs,
+            checkpoints=[],
+            audit=True,
+            raise_on_violation=True,
+        )
+
+
+@pytest.mark.parametrize("mechanism", ["cxlfork", "criu-cxl", "mitosis-cxl"])
+def test_resolved_child_views_identical_dedup_on_vs_off(mechanism):
+    """Satellite: per mechanism, a restored child's fully resolved memory
+    view (structure + per-page content labels) is bit-identical whether the
+    image was sealed dedup-on or dedup-off."""
+    from repro.check.oracle import capture_snapshot, resolve_view
+    from repro.faas.workload import FunctionWorkload
+
+    def child_view(dedup):
+        with DEDUP.force(dedup):
+            pod = make_pod(node_count=2, dram_bytes=2 * GIB, cxl_bytes=8 * GIB)
+            workload = FunctionWorkload("float")
+            instance = workload.build_instance(pod.source)
+            workload.season(instance)
+            mech = get_mechanism(
+                mechanism, fabric=pod.fabric, cxlfs=pod.cxlfs
+            )
+            ckpt, _ = mech.checkpoint(instance.task)
+            snapshot = capture_snapshot(instance.task)
+            restored = mech.restore(ckpt, pod.nodes[1])
+            view = resolve_view(restored.task, snapshot, {})
+            return [
+                (
+                    v.signature(),
+                    v.content_kind.tolist(),
+                    v.content_val.tolist(),
+                )
+                for v in view.vmas
+            ]
+
+    assert child_view(False) == child_view(True)
