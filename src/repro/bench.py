@@ -572,7 +572,23 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="only check that repo-root BENCH_*.json copies match "
         "benchmarks/baselines/ (CI drift guard); runs nothing",
     )
+    parser.add_argument(
+        "--plan-off",
+        action="store_true",
+        help="force the restore-plan cache off (REPRO_RESTORE_PLAN=0, "
+        "workers included); digests must still match the baselines",
+    )
     args = parser.parse_args(argv)
+
+    if args.plan_off:
+        # Set the env var (worker processes inherit it) *and* reset the
+        # already-constructed singleton so this process re-reads it.
+        import os
+
+        from repro.rfork.restoreplan import RESTORE_PLAN
+
+        os.environ["REPRO_RESTORE_PLAN"] = "0"
+        RESTORE_PLAN.reset()
 
     names = args.experiments or sorted(BENCH_EXPERIMENTS)
     unknown = [n for n in names if n not in BENCH_EXPERIMENTS]

@@ -23,6 +23,10 @@ relies on:
    ``allocated_frames`` equals its population of nonzero refcounts, and the
    pod-wide :func:`repro.faults.audit.audit_pod` owner walk agrees with the
    pools (no leaked, missing, or miscounted frames).
+5. **Restore-plan coherence** — a memoized restore plan
+   (:mod:`repro.rfork.restoreplan`) whose invalidation key still matches
+   the live epochs must agree with a fresh walk of the image it describes;
+   disagreement means an in-place image mutation skipped its epoch bump.
 
 All checks are read-only and never advance a virtual clock.
 """
@@ -271,6 +275,34 @@ def check_pod(
         for task in node.kernel.tasks():
             check_task(task, report)
     check_leaf_refcounts(nodes, checkpoints, report)
+
+    # Family 5: restore-plan coherence.  A memoized plan whose key still
+    # matches the current epochs must describe the image as it is *now*:
+    # its cached verify frame set must equal a fresh checkpoint_frames
+    # walk.  A mismatch means some image mutation forgot its epoch bump —
+    # the exact bug class the plan cache's invalidation contract exists
+    # to prevent (and the stale-restore-plan mutation simulates).
+    from repro.ras.checksum import checkpoint_frames as _ckpt_frames
+    from repro.rfork.restoreplan import cached_plan, plan_key
+
+    for ckpt in checkpoints:
+        if getattr(ckpt, "_deleted", False):
+            continue
+        plan = cached_plan(ckpt)
+        if plan is None or plan.frames is None:
+            continue  # planless, or a frameless (mitosis) image
+        if plan.key != plan_key(ckpt, fabric):
+            continue  # stale by its own account; plan_for will rebuild it
+        fresh = _ckpt_frames(ckpt)
+        if plan.frames.shape != fresh.shape or not np.array_equal(
+            plan.frames, fresh
+        ):
+            report.add(
+                "stale-restore-plan", getattr(ckpt, "comm", "?"),
+                f"plan caches {plan.frames.size} verify frame(s) but the "
+                f"image now spans {fresh.size}; an in-place image mutation "
+                "missed its invalidate_restore_plan/epoch bump",
+            )
 
     # Family 4a: each pool's totals agree with its own refcount population.
     pools = [fabric.device.frames] + [n.dram for n in nodes]

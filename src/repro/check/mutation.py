@@ -35,6 +35,16 @@ Known mutations:
     a second checkpoint (the first seal populates the index; the bug fires
     on hits).
 
+``stale-restore-plan``
+    :func:`repro.rfork.restoreplan.plan_for` serves a memoized restore
+    plan whose invalidation epoch no longer matches (and
+    ``verify_planned`` serves its cached clean verdict), as if the epoch
+    contract were broken.  A restore after a poison event then succeeds
+    against frames the plan remembers as verified; the child's first CoW
+    read of a poisoned page must still raise through the non-plan-mediated
+    ``verify_frames`` path — proving stale-plan bugs cannot reach user
+    data undetected.
+
 Enable with e.g. ``REPRO_CHECK_MUTATION=drop-ckpt-cow python -m repro check``.
 """
 
@@ -51,6 +61,8 @@ KNOWN = {
     "(restore-time checksum must catch it)",
     "alias-wrong-chunk": "dedup seal maps a page to the wrong hash bucket "
     "(oracle chunk-code cross-check must catch it)",
+    "stale-restore-plan": "restore serves a memoized plan across an epoch "
+    "bump (fault-path checksums must still catch the poison)",
 }
 
 

@@ -47,11 +47,14 @@ from repro.os.mm.pte import PTE_FLAG_MASK, PTE_FRAME_SHIFT
 from repro.os.mm.vma import VmaLeaf
 from repro.ras import RAS, verify_checkpoint
 from repro.rfork.criu import CriuCheckpoint
+from repro.rfork.criu import build_restore_plan as _criu_restore_plan
 from repro.rfork.cxlfork import (
     REBASE_FIXUP_NS,
     VMA_STRUCT_BYTES,
     CxlForkCheckpoint,
 )
+from repro.rfork.cxlfork import build_restore_plan as _cxlfork_restore_plan
+from repro.rfork.restoreplan import RESTORE_PLAN, plan_for
 from repro.serial.blob import CxlHeap
 from repro.serial.codec import Codec
 from repro.serial.rebase import Rebaser
@@ -217,10 +220,20 @@ def materialize(wire: dict, pod, *, codec: Optional[Codec] = None):
     codec = codec or Codec()
     mech = wire.get("mech")
     if mech == "cxlfork":
-        return _materialize_cxlfork(wire, pod, codec)
-    if mech == "criu-cxl":
-        return _materialize_criu(wire, pod, codec)
-    raise ReplicationError(f"unknown wire mechanism {mech!r}")
+        ckpt, install_ns = _materialize_cxlfork(wire, pod, codec)
+        builder = _cxlfork_restore_plan
+    elif mech == "criu-cxl":
+        ckpt, install_ns = _materialize_criu(wire, pod, codec)
+        builder = _criu_restore_plan
+    else:
+        raise ReplicationError(f"unknown wire mechanism {mech!r}")
+    if RESTORE_PLAN.active():
+        # Seed the restore plan while the landed image is hot: the first
+        # cold start on this pod then restores plan-served.  Codec-keyed
+        # fields (the cxlfork global-state decode) stay lazy — the pod's
+        # restoring mechanism may use a different codec than this ship.
+        plan_for(ckpt, pod.fabric, builder)
+    return ckpt, install_ns
 
 
 def _materialize_cxlfork(wire: dict, pod, codec: Codec):
@@ -472,9 +485,14 @@ class Replicator:
         # content hash (mechanism + comm + chunk codes), so a re-seal of
         # identical state — a different object — still hits; images without
         # codes fall back to object identity with a strong reference held.
-        # Decoding stays per-ship: materialize() stores parts of the wire
-        # dict by reference into the destination heap.
         self._blob_cache: dict[tuple, tuple[object, bytes]] = {}
+        # Decoded-wire cache, same keying.  Sharing one decoded dict across
+        # ships is safe because materialize() only *reads* the wire form:
+        # every landed structure is freshly built (``from_wire``,
+        # ``np.asarray`` of a list) and the only by-reference installs are
+        # immutable blobs (the cxlfork global-state bytes).
+        self._wire_cache: dict[tuple, tuple[object, dict]] = {}
+        self._wire_cache_hits = 0
 
     _BLOB_CACHE_MAX = 8
 
@@ -514,6 +532,18 @@ class Replicator:
         self._blob_cache[key] = (checkpoint, blob)
         return blob
 
+    def _decoded_wire(self, checkpoint, blob: bytes) -> dict:
+        key = self._cache_key(checkpoint)
+        cached = self._wire_cache.get(key)
+        if cached is not None and (key[0] == "content" or cached[0] is checkpoint):
+            self._wire_cache_hits += 1
+            return cached[1]
+        wire = self.codec.decode(blob)
+        if len(self._wire_cache) >= self._BLOB_CACHE_MAX:
+            self._wire_cache.pop(next(iter(self._wire_cache)))
+        self._wire_cache[key] = (checkpoint, wire)
+        return wire
+
     def ship(
         self,
         function: str,
@@ -545,7 +575,7 @@ class Replicator:
         # Encode now: once the bytes are on the wire, a source-pod crash
         # cannot lose the transfer (mitosis-style ship, not remote paging).
         blob = self._encoded_blob(entry.checkpoint)
-        wire = self.codec.decode(blob)
+        wire = self._decoded_wire(entry.checkpoint, blob)
         nbytes = shipped_bytes(entry.checkpoint, blob)
         codes = wire_chunk_codes(wire)
         if codes.size:

@@ -109,6 +109,12 @@ class FrameAllocator:
         #: as an explicit owner class.
         self._offlined: set[int] = set()
         self._bad_cache: "np.ndarray | None" = None  # sorted poisoned+offlined
+        #: Poison-visibility epoch: bumped at exactly the sites that drop
+        #: ``_bad_cache`` (poison, clear_poison, poisoned-frame offlining
+        #: on last put).  Consumers that memoize verification verdicts —
+        #: the restore-plan cache (:mod:`repro.rfork.restoreplan`) — key
+        #: them by this counter so any visibility change forces a rescan.
+        self.epoch = 0
         # Refcounts grow lazily: pools are sized at up to 128 GiB (33M
         # frames) and eagerly allocating that array would waste real memory.
         self._refcount = np.zeros(min(capacity_frames, 4096), dtype=np.int32)
@@ -251,6 +257,7 @@ class FrameAllocator:
                 self._free.extend(recycled)
                 if offlined:
                     self._bad_cache = None
+                    self.epoch += 1
                     from repro.telemetry import TRACE
 
                     TRACE.count("ras.frames_offlined", offlined)
@@ -341,6 +348,7 @@ class FrameAllocator:
             self._free = [i for i in self._free if i not in hit_set]
         if newly:
             self._bad_cache = None
+            self.epoch += 1
         return newly
 
     def clear_poison(self, frames: "np.ndarray | Iterable[int] | int") -> int:
@@ -354,6 +362,7 @@ class FrameAllocator:
                 cleared += 1
         if cleared:
             self._bad_cache = None
+            self.epoch += 1
         return cleared
 
     def is_poisoned(self, frame: int) -> bool:

@@ -29,33 +29,59 @@ class BandwidthTracker:
     #: Utilization above which inflation is clamped (queueing model sanity).
     max_utilization: float = 0.95
     _streams: dict[str, float] = field(default_factory=dict)
+    #: Running sum of ``_streams`` so :attr:`offered_gbps` is O(1) — the
+    #: contention factor reads it on every invocation's access pass.
+    _offered_total: float = field(default=0.0, repr=False)
+    _mutations: int = field(default=0, repr=False)
+
+    #: Exact re-sum cadence: incremental float add/subtract can drift from
+    #: ``sum(dict.values())``, so every Nth mutation recomputes the total
+    #: from scratch.  The cadence is a fixed mutation count — never wall
+    #: time — so runs stay deterministic and parallel/serial digests match.
+    _RESUM_EVERY = 64
 
     def __post_init__(self) -> None:
         if self.capacity_gbps <= 0:
             raise ValueError(f"capacity must be positive: {self.capacity_gbps}")
         if not 0.0 < self.max_utilization < 1.0:
             raise ValueError(f"bad utilization cap: {self.max_utilization}")
+        self._offered_total = sum(self._streams.values())
 
     # -- load registration -----------------------------------------------------
+
+    def _mutated(self) -> None:
+        self._mutations += 1
+        if self._mutations >= self._RESUM_EVERY:
+            self._mutations = 0
+            self._offered_total = sum(self._streams.values())
 
     def register_stream(self, name: str, gbps: float) -> None:
         """Declare (or update) one consumer's average CXL traffic."""
         if gbps < 0:
             raise ValueError(f"negative traffic: {gbps}")
+        self._offered_total += gbps - self._streams.get(name, 0.0)
         self._streams[name] = gbps
+        self._mutated()
         if TRACE.enabled:
             TRACE.count("cxl.stream_updates")
             TRACE.observe("cxl.offered_gbps", self.offered_gbps)
 
     def unregister_stream(self, name: str) -> None:
-        self._streams.pop(name, None)
+        old = self._streams.pop(name, None)
+        if old is not None:
+            self._offered_total -= old
+            self._mutated()
 
     def clear(self) -> None:
         self._streams.clear()
+        self._offered_total = 0.0
+        self._mutations = 0
 
     @property
     def offered_gbps(self) -> float:
-        return sum(self._streams.values())
+        if not self._streams:
+            return 0.0  # exact: cancellation drift cannot survive empty
+        return self._offered_total
 
     def utilization(self) -> float:
         return min(self.offered_gbps / self.capacity_gbps, self.max_utilization)

@@ -97,6 +97,11 @@ class ChunkIndex:
         # Sorted (frames, codes) arrays for vectorized codes_for; rebuilt
         # lazily after any register/release/repoint.
         self._lookup_cache: Optional[tuple[np.ndarray, np.ndarray]] = None
+        #: Repoint epoch: bumped whenever chunk content moves between
+        #: frames under a live image (RAS repair).  The restore-plan cache
+        #: (:mod:`repro.rfork.restoreplan`) keys plans by this counter so
+        #: a repoint invalidates every memoized frame/attach array.
+        self.epoch = 0
 
     # -- code derivation ---------------------------------------------------------
 
@@ -196,6 +201,7 @@ class ChunkIndex:
             self._frame_by_code[code] = new
         self._sharers[new] = self._sharers.pop(old)
         self._lookup_cache = None
+        self.epoch += 1
         self.stats.repointed += 1
 
     # -- queries -----------------------------------------------------------------

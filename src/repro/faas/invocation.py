@@ -19,25 +19,20 @@ process consists of:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from repro.faas.profiles import MemoryPlan, Segment, SegmentRole
 from repro.os.kernel import FaultStats
-from repro.os.mm.faults import FaultKind
+from repro.os.mm.faults import WARMING_KINDS, FaultKind
 from repro.os.proc.task import Task
 from repro.sim.units import PAGE_SIZE
 
-#: Fault kinds that leave the page's data warm in the cache.
-_WARMING_KINDS = (
-    FaultKind.ANON_ZERO,
-    FaultKind.FILE_MINOR,
-    FaultKind.FILE_MAJOR,
-    FaultKind.COW_LOCAL,
-    FaultKind.COW_CXL,
-    FaultKind.MOA_COPY,
-    FaultKind.MITOSIS_REMOTE,
-)
+#: Fault kinds that leave the page's data warm in the cache.  The
+#: canonical set lives next to the FaultKind enum; FaultStats tallies it
+#: incrementally as ``stats.warmed``, which pass 2 below reads directly.
+_WARMING_KINDS = tuple(sorted(WARMING_KINDS, key=lambda k: k.value))
 
 
 @dataclass
@@ -71,9 +66,6 @@ STABLE_CORE_FRAC = 0.8
 TAIL_WINDOW_FACTOR = 4
 
 
-from functools import lru_cache
-
-
 @lru_cache(maxsize=4096)
 def _mask_core(npages: int, count: int, stable_frac: float):
     """Cached per-(segment, fraction) pieces: the stable-core mask and the
@@ -105,12 +97,24 @@ def touch_mask(
     deterministically with ``invocation_index`` (each request's different
     input — the paper invokes each function "with a different input in each
     request", §2.2).
+
+    The returned mask is **read-only**: it is a pure function of its
+    arguments and cached, because scaled-out experiments replay the same
+    few (segment, fraction, index) triples thousands of times across
+    instances of the same function.
     """
     if npages <= 0:
         return np.zeros(0, dtype=bool)
     count = min(int(round(npages * frac)), npages)
     if count == 0:
         return np.zeros(npages, dtype=bool)
+    return _touch_mask_cached(npages, count, invocation_index, stable_frac)
+
+
+@lru_cache(maxsize=512)
+def _touch_mask_cached(
+    npages: int, count: int, invocation_index: int, stable_frac: float
+) -> np.ndarray:
     core_mask, tail, window = _mask_core(npages, count, stable_frac)
     mask = core_mask.copy()
     n = window.size
@@ -124,6 +128,7 @@ def touch_mask(
         start = (invocation_index * 2654435761) % n
         picks = window[(start + np.arange(min(tail, n)) * step) % n]
         mask[picks] = True
+    mask.setflags(write=False)
     return mask
 
 
@@ -162,7 +167,9 @@ class InvocationEngine:
         result.fault_ns = result.fault_stats.cost_ns
 
         # Pass 2: memory-access time from the post-fault page placement.
-        total_touched = sum(int(np.count_nonzero(m)) for _, m, _ in seg_masks)
+        # access_range already tallied each segment's touched pages in its
+        # placement counters, so no mask re-scan is needed here.
+        total_touched = sum(s.touched for _, _, s in seg_masks)
         result.touched_pages = total_touched
         ws_bytes = total_touched * PAGE_SIZE
         miss_frac = node.cache.rereference_miss_fraction(ws_bytes)
@@ -179,7 +186,7 @@ class InvocationEngine:
             result.touched_cxl += n_cxl
 
             # First touches: pages just copied by a fault are cache-warm.
-            warmed = sum(stats.count(kind) for kind in _WARMING_KINDS)
+            warmed = stats.warmed
             cold_first = max(0, n_touched - warmed)
             frac_cxl = n_cxl / n_touched if n_touched else 0.0
             ft_cxl = cold_first * frac_cxl

@@ -22,13 +22,17 @@ Frame lifetime is uniformly refcounted: every mapping holds one reference
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
-from repro.os.mm.faults import DEFAULT_FAULT_COSTS, FaultCostModel, FaultKind
+from repro.os.mm.faults import (
+    DEFAULT_FAULT_COSTS,
+    WARMING_KINDS,
+    FaultCostModel,
+    FaultKind,
+)
 from repro.os.mm.mmdesc import MemoryDescriptor
 from repro.os.mm.pagetable import LEAF_SHIFT, PTES_PER_LEAF, PageTable, PteLeaf
 from repro.os.mm.pte import (
@@ -62,26 +66,44 @@ class FaultStats:
     transitions, so callers don't need a second page-table pass.
     """
 
-    counts: Counter = field(default_factory=Counter)
+    #: Per-kind fault tallies.  A plain dict, not a Counter: one FaultStats
+    #: is allocated per access_range call, and Counter's __init__/update
+    #: overhead was measurable at cluster scale.
+    counts: dict = field(default_factory=dict)
     cost_ns: float = 0.0
     touched_local: int = 0
     touched_cxl: int = 0
+    #: Running total of the cache-warming kinds (see
+    #: :data:`repro.os.mm.faults.WARMING_KINDS`), kept incrementally so
+    #: hot callers never re-walk the counter.
+    warmed: int = 0
 
     def add(self, kind: FaultKind, n: int, cost_each_ns: float) -> None:
         if n <= 0:
             return
-        self.counts[kind] += n
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + n
         self.cost_ns += n * cost_each_ns
+        if kind in WARMING_KINDS:
+            self.warmed += n
 
     def add_cost(self, ns: float) -> None:
         self.cost_ns += ns
 
     def merge(self, other: "FaultStats") -> "FaultStats":
-        self.counts.update(other.counts)
+        counts = self.counts
+        for kind, n in other.counts.items():
+            counts[kind] = counts.get(kind, 0) + n
         self.cost_ns += other.cost_ns
         self.touched_local += other.touched_local
         self.touched_cxl += other.touched_cxl
+        self.warmed += other.warmed
         return self
+
+    @property
+    def touched(self) -> int:
+        """Pages this batch touched (post-fault placement tally)."""
+        return self.touched_local + self.touched_cxl
 
     @property
     def total_faults(self) -> int:
@@ -586,8 +608,14 @@ class Kernel:
             lo = vpn & (PTES_PER_LEAF - 1)
             hi = min(PTES_PER_LEAF, lo + (end - vpn))
             chunk_len = hi - lo
-            sub = mask[offset : offset + chunk_len] if mask is not None else None
-            if sub is None or sub.any():
+            sub = None
+            n_sub = chunk_len
+            if mask is not None:
+                sub = mask[offset : offset + chunk_len]
+                # One reduction does double duty: the empty-chunk skip here
+                # and the touched-page count _access_chunk needs anyway.
+                n_sub = int(np.count_nonzero(sub))
+            if n_sub:
                 # Create the leaf only when a page in this chunk is actually
                 # touched (a touch of a non-present page always installs a
                 # PTE); all-False chunks must not allocate empty leaves,
@@ -596,7 +624,8 @@ class Kernel:
                 if leaf is None:
                     leaf = pagetable.ensure_leaf(leaf_index)
                 self._access_chunk(
-                    task, vma, leaf, leaf_index, slice(lo, hi), vpn, sub, write, stats
+                    task, vma, leaf, leaf_index, slice(lo, hi), vpn, sub,
+                    n_sub, write, stats,
                 )
             offset += chunk_len
             vpn += chunk_len
@@ -649,6 +678,7 @@ class Kernel:
         sl: slice,
         vpn0: int,
         sub: Optional[np.ndarray],
+        n_touched: int,
         write: bool,
         stats: FaultStats,
     ) -> None:
@@ -657,65 +687,121 @@ class Kernel:
         ``sub`` is either a normalized boolean mask (guaranteed non-empty by
         the caller) or ``None`` meaning every page in the chunk is touched —
         the fast path skips materializing an all-ones mask entirely.
+        ``n_touched`` is the caller's already-reduced count of ``sub``
+        (or the chunk length when ``sub`` is ``None``).
+
+        One classification pass: every per-kind selector (present / CoW /
+        demand) derives from a single read of the chunk's PTEs, counts are
+        reduced once and reused for dispatch and accounting, and the
+        not-present mask only materializes when a demand fault exists.  The
+        warm case (all touched pages present, nothing to CoW) runs with two
+        reductions and no intermediate mask allocations beyond ``present``.
         """
         ptes = leaf.ptes[sl]
-        present = (ptes & _PRESENT) != 0
         if sub is None:
-            not_present = ~present
-            touched_present = present
+            # count_nonzero on the masked ints skips the boolean conversion.
+            n_tp = int(np.count_nonzero(ptes & _PRESENT))
+            n_np = n_touched - n_tp
+            # Everything present: masks degenerate to whole-slice ops, so no
+            # boolean selector ever materializes (the warm re-access case
+            # that dominates steady-state invocations).
+            fast = n_np == 0
+            present = touched_present = None
         else:
-            not_present = sub & ~present
+            present = (ptes & _PRESENT) != 0
             touched_present = sub & present
-        any_np = bool(not_present.any())
-        if write:
-            cow_hits = touched_present & ((ptes & _COW) != 0)
-            any_cow = bool(cow_hits.any())
+            n_tp = int(np.count_nonzero(touched_present))
+            n_np = n_touched - n_tp
+            fast = False
+        if write and n_tp:
+            if fast:
+                cow_hits = (ptes & _COW) != 0
+            else:
+                if touched_present is None:
+                    present = (ptes & _PRESENT) != 0
+                    touched_present = present
+                cow_hits = touched_present & ((ptes & _COW) != 0)
+            n_cow = int(np.count_nonzero(cow_hits))
         else:
             cow_hits = None
-            any_cow = False
+            n_cow = 0
 
-        if (any_np or any_cow) and leaf.shared:
+        if (n_np or n_cow) and leaf.shared:
             leaf = self._privatize_pte_leaf(task, leaf_index, stats)
             ptes = leaf.ptes[sl]
 
         # Hardware A/D updates happen regardless of faulting (and are legal
         # on shared leaves — this is the §4.3 harvesting channel).
-        if touched_present.any():
-            ptes[touched_present] |= _ACCESSED
-            if write:
-                hw_writable = touched_present & ((ptes & _WRITE) != 0)
-                if hw_writable.any():
-                    ptes[hw_writable] |= _DIRTY
+        if n_tp:
+            if fast:
+                np.bitwise_or(ptes, _ACCESSED, out=ptes)
+                if write:
+                    hw_writable = (ptes & _WRITE) != 0
+                    n_hw = int(np.count_nonzero(hw_writable))
+                    if n_hw == n_touched:
+                        np.bitwise_or(ptes, _DIRTY, out=ptes)
+                    elif n_hw:
+                        ptes[hw_writable] |= _DIRTY
+            else:
+                if touched_present is None:
+                    present = (ptes & _PRESENT) != 0
+                    touched_present = present
+                ptes[touched_present] |= _ACCESSED
+                if write:
+                    hw_writable = touched_present & ((ptes & _WRITE) != 0)
+                    if hw_writable.any():
+                        ptes[hw_writable] |= _DIRTY
 
-        if any_cow:
-            self._do_cow(task, leaf, sl, cow_hits, stats)
+        if n_cow:
+            self._do_cow(task, leaf, sl, cow_hits, stats, total=n_cow)
 
-        if any_np:
+        if n_np:
+            if present is None:
+                present = (ptes & _PRESENT) != 0
+            not_present = ~present if sub is None else sub & ~present
             self._do_not_present(task, vma, leaf, sl, vpn0, not_present, write, stats)
 
         # Final placement tally for the touched pages of this chunk.
-        if sub is None:
-            final = leaf.ptes[sl]
-            n_touched = sl.stop - sl.start
+        if n_cow or n_np:
+            # Faults rewrote PTEs; re-derive placement from the final state.
+            final = leaf.ptes[sl] if sub is None else leaf.ptes[sl][sub]
+            n_cxl = int(np.count_nonzero(final & _CXL))
+        elif fast:
+            n_cxl = int(np.count_nonzero(ptes & _CXL))
         else:
-            final = leaf.ptes[sl][sub]
-            n_touched = int(sub.sum())
-        n_cxl = int(((final & _CXL) != 0).sum())
+            # Warm path: A/D updates never change placement, so the initial
+            # read's classification stands (non-present touches are zero
+            # PTEs, which count as local exactly like before).
+            n_cxl = int(np.count_nonzero(touched_present & ((ptes & _CXL) != 0)))
         stats.touched_cxl += n_cxl
         stats.touched_local += n_touched - n_cxl
 
     # -- CoW ------------------------------------------------------------------------
 
     def _do_cow(
-        self, task: Task, leaf: PteLeaf, sl: slice, cow_mask: np.ndarray, stats: FaultStats
+        self,
+        task: Task,
+        leaf: PteLeaf,
+        sl: slice,
+        cow_mask: np.ndarray,
+        stats: FaultStats,
+        total: Optional[int] = None,
     ) -> None:
+        """CoW-resolve the ``cow_mask`` pages of one chunk.
+
+        ``total`` optionally carries the caller's already-reduced count of
+        ``cow_mask`` so the classification pass is not repeated.  The
+        CXL/local split reduces once over the compacted selection instead
+        of materializing full-width on-CXL / on-local masks.
+        """
         mm = task.mm
         ptes = leaf.ptes[sl]
-        on_cxl = cow_mask & ((ptes & _CXL) != 0)
-        on_local = cow_mask & ~((ptes & _CXL) != 0)
-        total = int(np.count_nonzero(cow_mask))
-        old_frames = (ptes[cow_mask] >> PTE_FRAME_SHIFT).astype(np.int64)
-        old_is_cxl = on_cxl[cow_mask]
+        if total is None:
+            total = int(np.count_nonzero(cow_mask))
+        old = ptes[cow_mask]
+        old_frames = (old >> PTE_FRAME_SHIFT).astype(np.int64)
+        old_is_cxl = (old & _CXL) != 0
+        any_old_cxl = bool(old_is_cxl.any())
         if RAS.active():
             # The CoW read is the other hot path that copies checkpoint
             # bytes (eagerly mapped pages never demand-fault): the private
@@ -723,7 +809,7 @@ class Kernel:
             # any PTE/refcount mutation so a detection leaves no half-done
             # fault; has_poison keeps the clean-pool cost at one read.
             pool = self.node.fabric.device.frames
-            if pool.has_poison and np.any(old_is_cxl):
+            if pool.has_poison and any_old_cxl:
                 verify_frames(pool, old_frames[old_is_cxl], context="cow-fault")
         new_frames = self._alloc_local(mm, total)
         new_flags = (
@@ -737,12 +823,12 @@ class Kernel:
         # Drop the mapping references on the source pages.
         backing = mm.ckpt_backing
         holds = backing is None or backing.holds_frame_refs
-        if np.any(old_is_cxl) and holds:
+        if any_old_cxl and holds:
             self.node.fabric.put_frames(old_frames[old_is_cxl])
         local_old = old_frames[~old_is_cxl]
         if local_old.size:
             self.node.dram.put(local_old)
-        n_cxl = int(np.count_nonzero(on_cxl))
+        n_cxl = int(np.count_nonzero(old_is_cxl))
         n_local = total - n_cxl
         stats.add(FaultKind.COW_CXL, n_cxl, self.fault_cost(FaultKind.COW_CXL))
         stats.add(FaultKind.COW_LOCAL, n_local, self.fault_cost(FaultKind.COW_LOCAL))
@@ -765,14 +851,19 @@ class Kernel:
         remaining = np_mask.copy()
         if backing is not None:
             ckpt_pt: PageTable = backing.checkpoint.pagetable
-            nvpn = sl.stop - sl.start
-            ckpt_ptes = ckpt_pt.gather_ptes(vpn0, nvpn)
-            covered = remaining & ((ckpt_ptes & _PRESENT) != 0)
-            if np.any(covered):
-                self._fault_from_checkpoint(
-                    task, vma, leaf, sl, covered, ckpt_ptes, write, backing, stats
-                )
-                remaining &= ~covered
+            # The chunk is exactly one leaf slice, so read the checkpointed
+            # leaf's PTEs directly (a view) instead of paying gather_ptes'
+            # per-chunk allocation + copy; _fault_from_checkpoint only
+            # reads them.
+            ckpt_leaf = ckpt_pt.leaf_or_none(vpn0 >> LEAF_SHIFT)
+            if ckpt_leaf is not None:
+                ckpt_ptes = ckpt_leaf.ptes[sl]
+                covered = remaining & ((ckpt_ptes & _PRESENT) != 0)
+                if np.any(covered):
+                    self._fault_from_checkpoint(
+                        task, vma, leaf, sl, covered, ckpt_ptes, write, backing, stats
+                    )
+                    remaining &= ~covered
         if not np.any(remaining):
             return
         if vma.kind is VmaKind.ANON:

@@ -47,6 +47,24 @@ class FaultKind(enum.Enum):
     VMA_LEAF_COW = "vma_leaf_cow"
 
 
+#: Kinds whose resolution lands the page's bytes in local memory, so the
+#: first user-level touch finds the data cache-warm.  Kept next to the
+#: enum (the one place a new kind is added) and tallied incrementally by
+#: :class:`repro.os.kernel.FaultStats` — the invocation engine reads the
+#: running total instead of re-summing seven counter lookups per segment.
+WARMING_KINDS = frozenset(
+    {
+        FaultKind.ANON_ZERO,
+        FaultKind.FILE_MINOR,
+        FaultKind.FILE_MAJOR,
+        FaultKind.COW_LOCAL,
+        FaultKind.COW_CXL,
+        FaultKind.MOA_COPY,
+        FaultKind.MITOSIS_REMOTE,
+    }
+)
+
+
 @dataclass(frozen=True)
 class FaultCostModel:
     """Fixed handler overheads; data movement comes from the latency model."""
@@ -153,4 +171,4 @@ class FaultCostModel:
 
 DEFAULT_FAULT_COSTS = FaultCostModel()
 
-__all__ = ["FaultKind", "FaultCostModel", "DEFAULT_FAULT_COSTS"]
+__all__ = ["FaultKind", "FaultCostModel", "DEFAULT_FAULT_COSTS", "WARMING_KINDS"]

@@ -162,9 +162,20 @@ class PageTable:
         This is what CXLfork's restore allocates and initializes; it is tiny
         (three tables per 1 GiB region plus the root), hence "constant time".
         """
-        if not self._leaves:
+        return self.upper_tables_for(self._leaves)
+
+    @staticmethod
+    def upper_tables_for(leaf_indices) -> int:
+        """Upper-table count for an arbitrary leaf-index set.
+
+        A pure function of the set, which is what lets the restore-plan
+        cache precompute it from a checkpoint's leaf offsets: a restored
+        task starts with an empty tree, so after attaching exactly the
+        checkpointed leaves its :meth:`upper_level_tables` equals this.
+        """
+        if not leaf_indices:
             return 1  # the root PGD always exists
-        pmds = {li >> LEAF_SHIFT for li in self._leaves}
+        pmds = {li >> LEAF_SHIFT for li in leaf_indices}
         puds = {pi >> LEAF_SHIFT for pi in pmds}
         return len(pmds) + len(puds) + 1
 

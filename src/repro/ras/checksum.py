@@ -63,6 +63,17 @@ def _pool_of(checkpoint):
     return fabric.device.frames
 
 
+def invalidate_restore_plan(checkpoint) -> None:
+    """Bump a checkpoint's plan epoch: the sealed image mutated in place.
+
+    Any memoized restore plan (:mod:`repro.rfork.restoreplan`) built
+    before this call captured the old epoch and will be rebuilt, never
+    served.  Called on every seal (a re-seal after repair changes frame
+    identity) and by the repairer's in-place image rewrites.
+    """
+    checkpoint._plan_epoch = getattr(checkpoint, "_plan_epoch", 0) + 1
+
+
 def verify_frames(pool, frames, *, context: str = "access") -> None:
     """Checksum-verify ``frames`` against ``pool``; raise on any mismatch."""
     from repro.ras import RAS
@@ -97,11 +108,15 @@ def seal_checkpoint(checkpoint, *, context: str = "seal") -> None:
     TRACE.count("ras.sealed")
     verify_frames(_pool_of(checkpoint), checkpoint_frames(checkpoint),
                   context=context)
+    # A (re-)seal redefines the image's verified content; any plan built
+    # against the previous seal is stale.
+    invalidate_restore_plan(checkpoint)
     checkpoint._ras_sealed = True
 
 
 __all__ = [
     "checkpoint_frames",
+    "invalidate_restore_plan",
     "seal_checkpoint",
     "verify_checkpoint",
     "verify_frames",

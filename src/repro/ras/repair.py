@@ -315,6 +315,11 @@ class Repairer:
     @staticmethod
     def _rewrite_image(checkpoint, mapping: dict) -> None:
         """Retarget one image's frame references through ``mapping``."""
+        from repro.ras.checksum import invalidate_restore_plan
+
+        # The image's frame identity changes in place: any memoized
+        # restore plan (attach arrays, verify frame set) is now stale.
+        invalidate_restore_plan(checkpoint)
         pt = getattr(checkpoint, "pagetable", None)
         if pt is not None:
             for _, leaf in pt.leaves():
@@ -386,6 +391,9 @@ class Repairer:
         ``write_file`` unlinks the old file first, dropping its frames —
         the poisoned ones offline themselves — and reallocates fresh ones.
         """
+        from repro.ras.checksum import invalidate_restore_plan
+
+        invalidate_restore_plan(checkpoint)
         cxlfs = checkpoint.cxlfs
         pool = self._pool(checkpoint)
         rewritten = 0

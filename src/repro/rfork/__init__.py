@@ -7,6 +7,12 @@
 * :class:`MitosisCxl` — state of the art: local shadow checkpoint,
   serialized OS state, lazy per-page remote copies (§2.3.2, §6.2).
 * :class:`LocalFork` / :class:`ColdStart` — the reference baselines.
+
+All mechanisms restore through the memoized restore-plan cache
+(:mod:`repro.rfork.restoreplan`, runtime-flagged via ``RESTORE_PLAN``):
+repeated cold starts of one checkpoint pay O(delta) host work instead of
+re-scanning the image, with epoch-keyed invalidation on poison/repair,
+dedup repoint, and re-seal.
 """
 
 from repro.rfork.base import (
@@ -21,8 +27,20 @@ from repro.rfork.cxlfork import CxlFork, CxlForkCheckpoint
 from repro.rfork.localfork import LocalFork
 from repro.rfork.mitosis import MitosisCheckpoint, MitosisCxl, MitosisPolicy
 from repro.rfork.registry import MECHANISMS, get_mechanism
+from repro.rfork.restoreplan import (
+    RESTORE_PLAN,
+    RestorePlan,
+    RestorePlanRuntime,
+    drop_plan,
+    plan_for,
+)
 
 __all__ = [
+    "RESTORE_PLAN",
+    "RestorePlan",
+    "RestorePlanRuntime",
+    "drop_plan",
+    "plan_for",
     "CheckpointMetrics",
     "RemoteForkMechanism",
     "RestoreMetrics",

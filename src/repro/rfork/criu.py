@@ -14,6 +14,7 @@ is why CRIU's child consumes ~cold-start memory (Fig. 7b).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Optional
 
 import numpy as np
@@ -28,6 +29,13 @@ from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
 from repro.os.proc.task import Task, TaskState
 from repro.ras import RAS, seal_checkpoint, verify_checkpoint
+from repro.ras.checksum import checkpoint_frames
+from repro.rfork.restoreplan import (
+    RestorePlan,
+    drop_plan,
+    plan_for,
+    verify_planned,
+)
 from repro.rfork.base import (
     FD_REOPEN_NS,
     MMAP_SYSCALL_NS,
@@ -114,6 +122,7 @@ class CriuCheckpoint:
         if self._deleted:
             return
         self._deleted = True
+        drop_plan(self)
         if self.chunk_frames.size:
             fabric = self.cxlfs.fabric
             index = getattr(fabric, "_chunk_index", None)
@@ -123,6 +132,46 @@ class CriuCheckpoint:
         for path in self.file_paths:
             if self.cxlfs.exists(path):
                 self.cxlfs.unlink(path)
+
+
+def build_restore_plan(checkpoint: CriuCheckpoint) -> RestorePlan:
+    """Memoize the image-derived restore inputs.
+
+    The rebuilt :class:`~repro.os.mm.vma.Vma` list is safe to share across
+    restored tasks (``Vma`` is a frozen dataclass), and the pagemap-install
+    decisions replicate the restore loop's skip rule — a run dumped only
+    because its VMA is not clean-file-backed — which depends only on the
+    checkpoint's own records.  Per-restore side effects (``rootfs.ensure``,
+    frame allocation, ``map_range``) stay live.
+    """
+    plan = RestorePlan()
+    plan.frames = checkpoint_frames(checkpoint)
+    plan.n_meta_records = 4 + len(checkpoint.vma_records) + len(checkpoint.pagemaps)
+    vmas = [r.rebuild(file_registered=True) for r in checkpoint.vma_records]
+    plan.vma_specs = vmas
+    # Replicate VmaTree.find over the record set: a pagemap run is skipped
+    # iff it is neither dirty nor hardware-writable and lands in a private
+    # file mapping (those pages were never dumped).
+    by_start = sorted(vmas, key=lambda v: v.start_vpn)
+    starts = [v.start_vpn for v in by_start]
+    skip_flags = int(PteFlags.DIRTY) | int(PteFlags.WRITE)
+    install: list[tuple[int, int]] = []
+    total = 0
+    for pagemap in checkpoint.pagemaps:
+        if not pagemap.flags & skip_flags:
+            i = bisect_right(starts, pagemap.start_vpn) - 1
+            if i >= 0:
+                vma = by_start[i]
+                if (
+                    vma.start_vpn <= pagemap.start_vpn < vma.start_vpn + vma.npages
+                    and vma.kind is VmaKind.FILE_PRIVATE
+                ):
+                    continue
+        install.append((pagemap.start_vpn, pagemap.npages))
+        total += pagemap.npages
+    plan.install_specs = install
+    plan.total_installed = total
+    return plan
 
 
 class CriuCxl(RemoteForkMechanism):
@@ -304,9 +353,15 @@ class CriuCxl(RemoteForkMechanism):
     ) -> RestoreResult:
         if policy is not None:
             raise ValueError("CRIU-CXL has no tiering policies; state is fully copied")
+        plan = plan_for(checkpoint, node.fabric, build_restore_plan)
         if RAS.active():
             # Fail before spawning anything: a corrupt image never serves.
-            verify_checkpoint(checkpoint, context="criu.restore")
+            if plan is not None:
+                verify_planned(
+                    node.fabric.device.frames, plan, context="criu.restore"
+                )
+            else:
+                verify_checkpoint(checkpoint, context="criu.restore")
         kernel = node.kernel
         metrics = RestoreMetrics()
         span = TRACE.span(
@@ -318,7 +373,7 @@ class CriuCxl(RemoteForkMechanism):
         metrics.note("process_create", PROC_CREATE_NS)
         task = kernel.spawn_task(checkpoint.comm, container=container)
         try:
-            result = self._restore_into(task, checkpoint, node, metrics)
+            result = self._restore_into(task, checkpoint, node, metrics, plan)
             span.finish()
             return result
         except BaseException:
@@ -329,7 +384,9 @@ class CriuCxl(RemoteForkMechanism):
                 kernel.exit_task(task)
             raise
 
-    def _restore_into(self, task, checkpoint, node, metrics) -> RestoreResult:
+    def _restore_into(
+        self, task, checkpoint, node, metrics, plan=None
+    ) -> RestoreResult:
         kernel = node.kernel
         latency = node.fabric.latency
 
@@ -340,7 +397,12 @@ class CriuCxl(RemoteForkMechanism):
             "read_files",
             latency.copy_ns(meta_bytes + data_bytes, src_cxl=True, dst_cxl=False),
         )
-        n_meta_records = 4 + len(checkpoint.vma_records) + len(checkpoint.pagemaps)
+        if plan is not None:
+            n_meta_records = plan.n_meta_records
+        else:
+            n_meta_records = (
+                4 + len(checkpoint.vma_records) + len(checkpoint.pagemaps)
+            )
         metrics.note(
             "deserialize_metadata",
             self.codec.costs.decode_ns(meta_bytes, n_meta_records),
@@ -364,9 +426,13 @@ class CriuCxl(RemoteForkMechanism):
         )
         metrics.note("ns_restore", NS_RESTORE_NS)
 
-        # Recreate every VMA with mmap calls.
-        for vma_record in checkpoint.vma_records:
-            vma = vma_record.rebuild(file_registered=True)
+        # Recreate every VMA with mmap calls.  The rebuilt Vma objects are
+        # immutable, so the plan shares one list across all restores.
+        if plan is not None:
+            vmas = plan.vma_specs
+        else:
+            vmas = [r.rebuild(file_registered=True) for r in checkpoint.vma_records]
+        for vma in vmas:
             if vma.is_file_backed():
                 node.rootfs.ensure(vma.path, size_bytes=vma.npages * PAGE_SIZE)
             task.mm.vmas.insert(vma)
@@ -374,8 +440,6 @@ class CriuCxl(RemoteForkMechanism):
         metrics.note("vma_rebuild", MMAP_SYSCALL_NS * len(checkpoint.vma_records))
 
         # Copy every dumped page into fresh local memory.
-        file_clean = None  # restored lazily via page-cache faults
-        total_installed = 0
         flags = (
             PteFlags.PRESENT
             | PteFlags.WRITE
@@ -383,17 +447,25 @@ class CriuCxl(RemoteForkMechanism):
             | PteFlags.ACCESSED
             | PteFlags.DIRTY
         )
-        for pagemap in checkpoint.pagemaps:
-            # Skip runs that were not dumped (clean file pages: neither
-            # dirty nor a hardware-writable private copy — mirrors
-            # ``_file_clean_pages``).
-            if not pagemap.flags & (int(PteFlags.DIRTY) | int(PteFlags.WRITE)):
-                vma = task.mm.vmas.find(pagemap.start_vpn)
-                if vma is not None and vma.kind is VmaKind.FILE_PRIVATE:
-                    continue
-            frames = kernel.alloc_local_frames(task.mm, pagemap.npages)
-            task.mm.pagetable.map_range(pagemap.start_vpn, frames, int(flags))
-            total_installed += pagemap.npages
+        if plan is not None:
+            install_specs = plan.install_specs
+            total_installed = plan.total_installed
+        else:
+            install_specs = []
+            total_installed = 0
+            for pagemap in checkpoint.pagemaps:
+                # Skip runs that were not dumped (clean file pages: neither
+                # dirty nor a hardware-writable private copy — mirrors
+                # ``_file_clean_pages``).
+                if not pagemap.flags & (int(PteFlags.DIRTY) | int(PteFlags.WRITE)):
+                    vma = task.mm.vmas.find(pagemap.start_vpn)
+                    if vma is not None and vma.kind is VmaKind.FILE_PRIVATE:
+                        continue
+                install_specs.append((pagemap.start_vpn, pagemap.npages))
+                total_installed += pagemap.npages
+        for start_vpn, npages in install_specs:
+            frames = kernel.alloc_local_frames(task.mm, npages)
+            task.mm.pagetable.map_range(start_vpn, frames, int(flags))
         metrics.copied_pages = total_installed
         metrics.note("install_pages", PTE_INSTALL_NS * total_installed)
 
@@ -403,4 +475,4 @@ class CriuCxl(RemoteForkMechanism):
         return RestoreResult(task=task, metrics=metrics)
 
 
-__all__ = ["CriuCxl", "CriuCheckpoint"]
+__all__ = ["CriuCxl", "CriuCheckpoint", "build_restore_plan"]

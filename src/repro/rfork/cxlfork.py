@@ -33,6 +33,13 @@ from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
 from repro.os.proc.task import Task, TaskState
 from repro.ras import RAS, seal_checkpoint, verify_checkpoint
+from repro.ras.checksum import checkpoint_frames
+from repro.rfork.restoreplan import (
+    RestorePlan,
+    drop_plan,
+    plan_for,
+    verify_planned,
+)
 from repro.rfork.base import (
     FD_REOPEN_NS,
     NS_RESTORE_NS,
@@ -156,6 +163,7 @@ class CxlForkCheckpoint:
         if self._deleted:
             return
         self._deleted = True
+        drop_plan(self)
         if self.data_frames.size:
             if self.chunk_codes is not None:
                 # Drop this image's sharer from every indexed chunk before
@@ -184,6 +192,34 @@ class CxlForkCheckpoint:
             f"CxlForkCheckpoint(comm={self.comm!r}, "
             f"pages={self.present_pages}, rebased={self.rebased})"
         )
+
+
+def build_restore_plan(checkpoint: CxlForkCheckpoint) -> RestorePlan:
+    """Memoize the restore inputs that are pure functions of the image.
+
+    Everything here is exactly what a planless ``_restore_into`` computes
+    per restore: the heap derefs, the verify frame set, the upper-table
+    count.  Codec- and prefetcher-dependent fields fill lazily on first
+    use (see :mod:`repro.rfork.restoreplan`).
+    """
+    plan = RestorePlan()
+    plan.frames = checkpoint_frames(checkpoint)
+    heap = checkpoint.heap
+    attach = [
+        (leaf_index, heap.deref(offset))
+        for leaf_index, offset in checkpoint.leaf_offsets.items()
+    ]
+    plan.pt_attach = attach
+    plan.leaf_indices = np.asarray([i for i, _ in attach], dtype=np.int64)
+    plan.leaf_cxl_resident = np.asarray(
+        [leaf.cxl_resident for _, leaf in attach], dtype=bool
+    )
+    plan.backing_frames = checkpoint.data_frames
+    plan.upper_tables = PageTable.upper_tables_for(checkpoint.leaf_offsets)
+    plan.naive_installed = sum(leaf.present_count() for _, leaf in attach)
+    plan.vma_leaves = [heap.deref(offset) for offset in checkpoint.vma_leaf_offsets]
+    plan.max_vpn = checkpoint.max_vpn
+    return plan
 
 
 class CxlFork(RemoteForkMechanism):
@@ -422,10 +458,16 @@ class CxlFork(RemoteForkMechanism):
     ) -> RestoreResult:
         if not checkpoint.rebased:
             raise RebaseError("cannot restore from a non-rebased checkpoint")
+        plan = plan_for(checkpoint, node.fabric, build_restore_plan)
         if RAS.active():
             # Verify before spawning anything: a poisoned image must never
             # begin serving, and failing here leaves nothing to unwind.
-            verify_checkpoint(checkpoint, context="cxlfork.restore")
+            if plan is not None:
+                verify_planned(
+                    node.fabric.device.frames, plan, context="cxlfork.restore"
+                )
+            else:
+                verify_checkpoint(checkpoint, context="cxlfork.restore")
         if policy is None:
             policy = MigrateOnWrite()
         kernel = node.kernel
@@ -440,7 +482,9 @@ class CxlFork(RemoteForkMechanism):
         metrics.note("process_create", PROC_CREATE_NS)
         task = kernel.spawn_task(checkpoint.comm, container=container)
         try:
-            result = self._restore_into(task, checkpoint, node, policy, metrics)
+            result = self._restore_into(
+                task, checkpoint, node, policy, metrics, plan
+            )
             span.finish()
             return result
         except BaseException:
@@ -452,13 +496,31 @@ class CxlFork(RemoteForkMechanism):
                 kernel.exit_task(task)
             raise
 
-    def _restore_into(self, task, checkpoint, node, policy, metrics) -> RestoreResult:
+    def _restore_into(
+        self, task, checkpoint, node, policy, metrics, plan=None
+    ) -> RestoreResult:
         kernel = node.kernel
         latency = node.fabric.latency
 
         # Global state: deserialize the small blob, redo fds and namespaces.
-        blob = checkpoint.heap.deref(checkpoint.global_offset)
-        state, decode_ns = self.codec.decode_with_cost(blob, nrecords=8)
+        # The decoded state and its (deterministic) decode cost memoize on
+        # the plan, keyed by codec identity — a differently-configured
+        # codec never serves another codec's decode.
+        if plan is not None:
+            if plan._codec_ref is not self.codec:
+                blob = checkpoint.heap.deref(checkpoint.global_offset)
+                state, decode_ns = self.codec.decode_with_cost(blob, nrecords=8)
+                plan.global_state = state
+                plan.global_decode_ns = decode_ns
+                plan.ns_record = NamespaceRecord.from_wire(state["ns"])
+                plan._codec_ref = self.codec
+            state = plan.global_state
+            decode_ns = plan.global_decode_ns
+            ns_record = plan.ns_record
+        else:
+            blob = checkpoint.heap.deref(checkpoint.global_offset)
+            state, decode_ns = self.codec.decode_with_cost(blob, nrecords=8)
+            ns_record = NamespaceRecord.from_wire(state["ns"])
         metrics.note("global_deserialize", decode_ns)
         for wire in state["fds"]:
             record = FdRecord.from_wire(wire)
@@ -468,7 +530,6 @@ class CxlFork(RemoteForkMechanism):
                 dc_replace(entry, inode=inode.ino)
             )
         metrics.note("fd_reopen", FD_REOPEN_NS * len(state["fds"]))
-        ns_record = NamespaceRecord.from_wire(state["ns"])
         task.namespaces = NamespaceSet.restore_into(
             {"pid": ns_record.pid_ns, "mnt": ns_record.mnt_ns}, task.namespaces
         )
@@ -483,11 +544,19 @@ class CxlFork(RemoteForkMechanism):
         )
 
         # Attach the checkpointed VMA tree leaves.
-        for offset in checkpoint.vma_leaf_offsets:
-            leaf: VmaLeaf = checkpoint.heap.deref(offset)
+        if plan is not None:
+            vma_leaves = plan.vma_leaves
+            max_vpn = plan.max_vpn
+        else:
+            vma_leaves = [
+                checkpoint.heap.deref(offset)
+                for offset in checkpoint.vma_leaf_offsets
+            ]
+            max_vpn = checkpoint.max_vpn
+        for leaf in vma_leaves:  # type: VmaLeaf
             task.mm.vmas.attach_leaf(leaf)
         if checkpoint.vma_leaves:
-            task.mm.note_range_used(checkpoint.max_vpn, 0)
+            task.mm.note_range_used(max_vpn, 0)
         metrics.note(
             "vma_attach", VMA_LEAF_ATTACH_NS * len(checkpoint.vma_leaf_offsets)
         )
@@ -496,30 +565,48 @@ class CxlFork(RemoteForkMechanism):
         task.mm.ckpt_backing = CheckpointBacking(
             checkpoint=checkpoint, policy=policy, holds_frame_refs=True
         )
+        if plan is not None:
+            pt_attach = plan.pt_attach
+        else:
+            pt_attach = [
+                (leaf_index, checkpoint.heap.deref(offset))
+                for leaf_index, offset in checkpoint.leaf_offsets.items()
+            ]
         if self.naive_restore and policy.attach_leaves:
             # Ablation: reconstruct the page tables locally instead of
             # attaching the checkpointed leaves (§4.2.1's strawman).
-            installed = 0
-            for leaf_index, offset in checkpoint.leaf_offsets.items():
-                leaf: PteLeaf = checkpoint.heap.deref(offset)
+            # The copies themselves stay live (A/D bits on the source
+            # leaves mutate as children run); only the stable present
+            # total memoizes.
+            for leaf_index, leaf in pt_attach:  # type: (int, PteLeaf)
                 task.mm.pagetable.install_leaf(leaf_index, PteLeaf(leaf.ptes.copy()))
-                installed += leaf.present_count()
                 metrics.note(
                     "pt_copy", latency.page_copy_ns(src_cxl=True, dst_cxl=False)
                 )
+            if plan is not None:
+                installed = plan.naive_installed
+            else:
+                installed = sum(leaf.present_count() for _, leaf in pt_attach)
             metrics.note("pt_reinstall", 120.0 * installed)
-            uppers = task.mm.pagetable.upper_level_tables()
+            uppers = (
+                plan.upper_tables
+                if plan is not None
+                else task.mm.pagetable.upper_level_tables()
+            )
             metrics.note("pt_upper_init", UPPER_TABLE_INIT_NS * uppers)
             if checkpoint.data_frames.size:
                 node.fabric.get_frames(checkpoint.data_frames)
         elif policy.attach_leaves:
-            for leaf_index, offset in checkpoint.leaf_offsets.items():
-                leaf: PteLeaf = checkpoint.heap.deref(offset)
+            for leaf_index, leaf in pt_attach:
                 task.mm.pagetable.attach_leaf(leaf_index, leaf)
             metrics.note(
                 "pt_attach", PTE_LEAF_ATTACH_NS * len(checkpoint.leaf_offsets)
             )
-            uppers = task.mm.pagetable.upper_level_tables()
+            uppers = (
+                plan.upper_tables
+                if plan is not None
+                else task.mm.pagetable.upper_level_tables()
+            )
             metrics.note("pt_upper_init", UPPER_TABLE_INIT_NS * uppers)
             if checkpoint.data_frames.size:
                 node.fabric.get_frames(checkpoint.data_frames)
@@ -538,9 +625,22 @@ class CxlFork(RemoteForkMechanism):
                 latency.copy_ns(copied * PAGE_SIZE, src_cxl=True, dst_cxl=False),
             )
 
-        # Opportunistic dirty-page prefetch (off the critical path).
+        # Opportunistic dirty-page prefetch (off the critical path).  The
+        # per-leaf dirty selections are stable post-seal (checkpoint PTEs
+        # never carry WRITE), so they memoize on the plan, keyed by the
+        # prefetcher's effectiveness; the per-child installs stay live.
         if policy.prefetch_dirty:
-            result = self.prefetcher.prefetch(kernel, task, checkpoint.pagetable)
+            specs = None
+            if plan is not None:
+                if plan.prefetch_effectiveness != self.prefetcher.effectiveness:
+                    plan.prefetch_specs = self.prefetcher.dirty_specs(
+                        checkpoint.pagetable
+                    )
+                    plan.prefetch_effectiveness = self.prefetcher.effectiveness
+                specs = plan.prefetch_specs
+            result = self.prefetcher.prefetch(
+                kernel, task, checkpoint.pagetable, specs=specs
+            )
             metrics.background_ns += result.background_ns
             metrics.prefetched_pages = result.pages
             if TRACE.enabled and result.pages:
@@ -589,4 +689,4 @@ class CxlFork(RemoteForkMechanism):
         return copied
 
 
-__all__ = ["CxlFork", "CxlForkCheckpoint"]
+__all__ = ["CxlFork", "CxlForkCheckpoint", "build_restore_plan"]

@@ -27,6 +27,7 @@ from repro.os.mm.pte import PTE_FRAME_SHIFT, PteFlags
 from repro.os.node import ComputeNode
 from repro.os.proc.namespaces import NamespaceSet
 from repro.os.proc.task import Task, TaskState
+from repro.rfork.restoreplan import RestorePlan, drop_plan, plan_for
 from repro.rfork.base import (
     FD_REOPEN_NS,
     MMAP_SYSCALL_NS,
@@ -92,8 +93,27 @@ class MitosisCheckpoint:
         if self._deleted:
             return
         self._deleted = True
+        drop_plan(self)
         if self.shadow_frames.size:
             self.parent_node.dram.put(self.shadow_frames)
+
+
+def build_restore_plan(checkpoint: MitosisCheckpoint) -> RestorePlan:
+    """Memoize the OS-state restore inputs (Mitosis ships metadata only).
+
+    The shadow pages themselves are never touched at restore — children
+    pull them on fault — so the plan holds just the deserialization record
+    count and the rebuilt immutable Vma list.  Mitosis images are not
+    CXL-resident and carry no RAS seal, so ``plan.frames`` stays None.
+    """
+    plan = RestorePlan()
+    plan.n_meta_records = (
+        2 + len(checkpoint.vma_records) + checkpoint.present_pages // 64
+    )
+    plan.vma_specs = [
+        r.rebuild(file_registered=True) for r in checkpoint.vma_records
+    ]
+    return plan
 
 
 class MitosisCxl(RemoteForkMechanism):
@@ -198,11 +218,12 @@ class MitosisCxl(RemoteForkMechanism):
             )
         kernel = node.kernel
         metrics = RestoreMetrics()
+        plan = plan_for(checkpoint, node.fabric, build_restore_plan)
 
         metrics.note("process_create", PROC_CREATE_NS)
         task = kernel.spawn_task(checkpoint.comm, container=container)
         try:
-            return self._restore_into(task, checkpoint, node, policy, metrics)
+            return self._restore_into(task, checkpoint, node, policy, metrics, plan)
         except BaseException:
             # Failed restores must not leak frames; a mid-restore node
             # crash already tore the task down via node.fail().
@@ -210,7 +231,9 @@ class MitosisCxl(RemoteForkMechanism):
                 kernel.exit_task(task)
             raise
 
-    def _restore_into(self, task, checkpoint, node, policy, metrics) -> RestoreResult:
+    def _restore_into(
+        self, task, checkpoint, node, policy, metrics, plan=None
+    ) -> RestoreResult:
         kernel = node.kernel
         latency = node.fabric.latency
 
@@ -221,7 +244,12 @@ class MitosisCxl(RemoteForkMechanism):
             latency.copy_ns(nbytes, src_cxl=False, dst_cxl=True)
             + latency.copy_ns(nbytes, src_cxl=True, dst_cxl=False),
         )
-        n_records = 2 + len(checkpoint.vma_records) + checkpoint.present_pages // 64
+        if plan is not None:
+            n_records = plan.n_meta_records
+        else:
+            n_records = (
+                2 + len(checkpoint.vma_records) + checkpoint.present_pages // 64
+            )
         metrics.note(
             "os_state_deserialize", self.codec.costs.decode_ns(nbytes, n_records)
         )
@@ -240,8 +268,12 @@ class MitosisCxl(RemoteForkMechanism):
         metrics.note("ns_restore", NS_RESTORE_NS)
 
         # Rebuild the VMA tree and the remote-marked page-table skeleton.
-        for vma_record in checkpoint.vma_records:
-            vma = vma_record.rebuild(file_registered=True)
+        # Rebuilt Vma objects are immutable, so the plan shares one list.
+        if plan is not None:
+            vmas = plan.vma_specs
+        else:
+            vmas = [r.rebuild(file_registered=True) for r in checkpoint.vma_records]
+        for vma in vmas:
             if vma.is_file_backed():
                 node.rootfs.ensure(vma.path, size_bytes=vma.npages * PAGE_SIZE)
             task.mm.vmas.insert(vma)
@@ -262,4 +294,4 @@ class MitosisCxl(RemoteForkMechanism):
         return RestoreResult(task=task, metrics=metrics)
 
 
-__all__ = ["MitosisCxl", "MitosisCheckpoint", "MitosisPolicy"]
+__all__ = ["MitosisCxl", "MitosisCheckpoint", "MitosisPolicy", "build_restore_plan"]

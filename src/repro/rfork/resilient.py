@@ -22,6 +22,13 @@ Wraps CXLfork with the recovery policies of :mod:`repro.faults.recovery`:
 
 Restores dispatch on the checkpoint's actual type, so a degraded (CRIU)
 checkpoint restores through CRIU transparently.
+
+Both paths run through the restore-plan cache
+(:mod:`repro.rfork.restoreplan`) of whichever mechanism serves them.  The
+recovery ladder composes with the cache's epoch contract for free: a
+poison/offline event bumps the pool epoch, so the retried restore rebuilds
+its plan against the repaired image instead of serving memoized attach
+arrays that reference the old frames.
 """
 
 from __future__ import annotations

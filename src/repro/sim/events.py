@@ -92,34 +92,50 @@ class EventQueue:
         self._cancelled.add(event.sequence)
         return True
 
-    def step(self) -> Optional[Event]:
-        """Dispatch the next event; returns it, or ``None`` if queue is empty."""
+    def _pop_live(self, limit: Optional[int] = None) -> Optional[Event]:
+        """Pop the next live event, evicting cancelled heads in the same scan.
+
+        With ``limit``, an event scheduled past it stays in the heap and
+        ``None`` is returned — the bounds check happens *before* the pop,
+        so ``run(until=...)`` never dequeues an event it will not run.
+        This is the single head-scan shared by :meth:`step` and
+        :meth:`run`; the old ``peek_time()`` + ``step()`` pairing walked
+        the cancelled prefix twice per dispatch.
+        """
         while self._heap:
-            _, _, _, event = heapq.heappop(self._heap)
+            event = self._heap[0][3]
             if event.sequence in self._cancelled:
+                heapq.heappop(self._heap)
                 self._cancelled.discard(event.sequence)
                 continue
+            if limit is not None and event.when > limit:
+                return None
+            heapq.heappop(self._heap)
             self._pending.discard(event.sequence)
-            self._now = event.when
-            event.action()
             return event
         return None
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event; returns it, or ``None`` if queue is empty."""
+        event = self._pop_live()
+        if event is None:
+            return None
+        self._now = event.when
+        event.action()
+        return event
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is passed, or
         ``max_events`` dispatched.  Returns the number of events dispatched.
         """
         dispatched = 0
-        while True:
-            when = self.peek_time()  # skips cancelled heap heads
-            if when is None:
+        while max_events is None or dispatched < max_events:
+            event = self._pop_live(limit=until)
+            if event is None:
                 break
-            if until is not None and when > until:
-                break
-            if max_events is not None and dispatched >= max_events:
-                break
-            if self.step() is not None:
-                dispatched += 1
+            self._now = event.when
+            event.action()
+            dispatched += 1
         if until is not None and until > self._now:
             self._now = until
         return dispatched

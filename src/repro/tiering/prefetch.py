@@ -51,13 +51,17 @@ class DirtyPagePrefetcher:
             mask[np.linspace(0, n - 1, wins).astype(np.int64)] = True
         return mask
 
-    def prefetch(self, kernel: Kernel, task: Task, ckpt_pagetable: PageTable) -> PrefetchResult:
-        """Install local copies of (a fraction of) checkpoint-dirty pages."""
+    def dirty_specs(self, ckpt_pagetable: PageTable) -> list:
+        """Precompute per-leaf ``(leaf_index, sel, count)`` selections.
+
+        Safe to memoize across restores of one checkpoint (the restore-plan
+        cache does): DIRTY bits on checkpointed leaves are stable after the
+        seal — checkpoint PTEs never carry WRITE, so no child write can mark
+        them dirty — and the race mask is a deterministic function of the
+        dirty count and ``effectiveness``.
+        """
         dirty_flag = int(PteFlags.PRESENT) | int(PteFlags.DIRTY)
-        total_pages = 0
-        total_ns = 0.0
-        backing = task.mm.ckpt_backing
-        holds_refs = backing is None or backing.holds_frame_refs
+        specs = []
         for leaf_index, ckpt_leaf in ckpt_pagetable.leaves():
             dirty = ptes_flag_mask(ckpt_leaf.ptes, dirty_flag)
             n_dirty = int(np.count_nonzero(dirty))
@@ -68,8 +72,29 @@ class DirtyPagePrefetcher:
                 continue
             sel = np.zeros(PTES_PER_LEAF, dtype=bool)
             sel[np.nonzero(dirty)[0][won]] = True
-            count = int(np.count_nonzero(sel))
+            specs.append((leaf_index, sel, int(np.count_nonzero(sel))))
+        return specs
 
+    def prefetch(
+        self,
+        kernel: Kernel,
+        task: Task,
+        ckpt_pagetable: PageTable,
+        specs: list = None,
+    ) -> PrefetchResult:
+        """Install local copies of (a fraction of) checkpoint-dirty pages.
+
+        ``specs`` optionally supplies memoized :meth:`dirty_specs` output;
+        the per-child installs (privatize, allocate, map) stay live either
+        way.
+        """
+        total_pages = 0
+        total_ns = 0.0
+        backing = task.mm.ckpt_backing
+        holds_refs = backing is None or backing.holds_frame_refs
+        if specs is None:
+            specs = self.dirty_specs(ckpt_pagetable)
+        for leaf_index, sel, count in specs:
             child_leaf, copied = None, False
             if task.mm.pagetable.has_leaf(leaf_index):
                 child_leaf, copied = task.mm.pagetable.privatize_leaf(leaf_index)

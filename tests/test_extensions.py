@@ -205,3 +205,48 @@ class TestWorkflows:
         result = engine.run(self._workflow(), TransferMode.COPY)
         assert result.stages[0].transfer_in_ms == 0.0
         assert result.stages[1].transfer_in_ms > 0.0
+
+
+class TestBandwidthRunningTotal:
+    """offered_gbps is a running total; it must never drift from the dict."""
+
+    def test_total_tracks_mixed_mutations_exactly(self):
+        tracker = BandwidthTracker(capacity_gbps=100.0)
+        # Way past the re-sum cadence, with updates and removals mixed in,
+        # using values (0.1) whose binary-float sums accumulate error.
+        for i in range(500):
+            tracker.register_stream(f"s{i % 40}", 0.1 * (i % 7))
+            if i % 3 == 0:
+                tracker.unregister_stream(f"s{(i + 13) % 40}")
+        assert tracker.offered_gbps == pytest.approx(
+            sum(tracker._streams.values()), abs=1e-12
+        )
+
+    def test_empty_tracker_is_exactly_zero(self):
+        tracker = BandwidthTracker()
+        tracker.register_stream("a", 0.1)
+        tracker.register_stream("b", 0.2)
+        tracker.unregister_stream("a")
+        tracker.unregister_stream("b")
+        # Not approx: cancellation drift must not survive an empty dict.
+        assert tracker.offered_gbps == 0.0
+
+    def test_clear_resets_total(self):
+        tracker = BandwidthTracker()
+        tracker.register_stream("a", 3.0)
+        tracker.clear()
+        assert tracker.offered_gbps == 0.0
+        tracker.register_stream("b", 1.0)
+        assert tracker.offered_gbps == pytest.approx(1.0)
+
+    def test_update_replaces_rather_than_adds(self):
+        tracker = BandwidthTracker()
+        tracker.register_stream("a", 2.0)
+        tracker.register_stream("a", 5.0)
+        assert tracker.offered_gbps == pytest.approx(5.0)
+
+    def test_unregister_unknown_is_noop(self):
+        tracker = BandwidthTracker()
+        tracker.register_stream("a", 2.0)
+        tracker.unregister_stream("ghost")
+        assert tracker.offered_gbps == pytest.approx(2.0)

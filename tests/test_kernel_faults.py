@@ -123,3 +123,51 @@ class TestCow:
         child, _ = kernel.local_fork(task)
         stats = kernel.access_range(child, vma.start_vpn, 10, write=False)
         assert stats.total_faults == 0
+
+
+class TestFaultStatsWarmed:
+    """The incremental warmed tally must equal a counter re-walk."""
+
+    def test_add_tallies_warming_kinds_only(self):
+        from repro.os.kernel import FaultStats
+        from repro.os.mm.faults import WARMING_KINDS
+
+        stats = FaultStats()
+        for kind in FaultKind:
+            stats.add(kind, 3, 10.0)
+        expected = 3 * len(WARMING_KINDS)
+        assert stats.warmed == expected
+        assert stats.warmed == sum(
+            n for k, n in stats.counts.items() if k in WARMING_KINDS
+        )
+
+    def test_merge_adds_warmed(self):
+        from repro.os.kernel import FaultStats
+
+        a, b = FaultStats(), FaultStats()
+        a.add(FaultKind.ANON_ZERO, 2, 1.0)
+        b.add(FaultKind.COW_CXL, 5, 1.0)
+        b.add(FaultKind.CXL_MAP, 7, 1.0)  # attach, not a warming copy
+        a.merge(b)
+        assert a.warmed == 7
+
+    def test_invocation_reads_incremental_tally(self, pod):
+        """End-to-end: a restored child's first run warms via faults, and
+        the engine's pass-2 read of ``stats.warmed`` matches the counter."""
+        from repro.faas.workload import FunctionWorkload
+        from repro.os.mm.faults import WARMING_KINDS
+        from repro.rfork.cxlfork import CxlFork
+
+        workload = FunctionWorkload("float")
+        instance = workload.build_instance(pod.source)
+        workload.season(instance)
+        mech = CxlFork()
+        ckpt, _ = mech.checkpoint(instance.task)
+        result = mech.restore(ckpt, pod.target)
+        child = workload.placed_plan_for(instance, result.task)
+        outcome = workload.invoke(child)
+        stats = outcome.fault_stats
+        assert stats.warmed == sum(
+            n for k, n in stats.counts.items() if k in WARMING_KINDS
+        )
+        assert stats.warmed > 0

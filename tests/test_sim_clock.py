@@ -48,3 +48,45 @@ class TestClock:
         assert child.now == 42
         child.advance(1)
         assert clock.now == 42  # independent afterwards
+
+
+class TestAlarms:
+    def test_alarms_fire_in_deadline_order_regardless_of_arming_order(self):
+        clock = Clock()
+        fired = []
+        clock.at(300, lambda: fired.append("c"))
+        clock.at(100, lambda: fired.append("a"))
+        clock.at(200, lambda: fired.append("b"))
+        clock.advance(1_000)
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_deadlines_fire_in_arrival_order(self):
+        # insort-right keeps ties stable, matching the full stable sort
+        # the sorted-insert replaced.
+        clock = Clock()
+        fired = []
+        for tag in "abc":
+            clock.at(50, lambda t=tag: fired.append(t))
+        clock.advance(100)
+        assert fired == ["a", "b", "c"]
+
+    def test_alarm_armed_during_advance_interleaves(self):
+        clock = Clock()
+        fired = []
+
+        def rearm():
+            fired.append(clock.now)
+            clock.at(clock.now + 10, lambda: fired.append(clock.now))
+
+        clock.at(10, rearm)
+        clock.advance(100)
+        assert fired == [10, 20]
+
+    def test_cancelled_alarm_skipped(self):
+        clock = Clock()
+        fired = []
+        alarm = clock.at(10, lambda: fired.append(1))
+        alarm.cancel()
+        clock.advance(100)
+        assert fired == []
+        assert clock.now == 100

@@ -162,3 +162,50 @@ class TestRun:
 
     def test_step_empty_returns_none(self):
         assert EventQueue().step() is None
+
+
+class TestPopLive:
+    """The single-scan head eviction behind both step() and run()."""
+
+    def test_run_of_cancelled_heads_evicted_in_one_pass(self):
+        q = EventQueue()
+        fired = []
+        dead = [q.schedule(t, lambda: fired.append("dead")) for t in (1, 2, 3)]
+        q.schedule(10, lambda: fired.append("live"))
+        for event in dead:
+            q.cancel(event)
+        assert q.run() == 1
+        assert fired == ["live"]
+        assert len(q) == 0
+
+    def test_step_skips_cancelled_heads(self):
+        q = EventQueue()
+        fired = []
+        event = q.schedule(5, lambda: fired.append("dead"))
+        q.schedule(10, lambda: fired.append("live"))
+        q.cancel(event)
+        q.step()
+        assert fired == ["live"]
+
+    def test_until_bound_checked_before_dequeue(self):
+        # An event past the horizon must stay queued (not dispatched, not
+        # dropped) so a later run() still sees it.
+        q = EventQueue()
+        fired = []
+        q.schedule(100, lambda: fired.append(100))
+        assert q.run(until=50) == 0
+        assert len(q) == 1
+        assert q.run() == 1
+        assert fired == [100]
+
+    def test_max_events_with_interleaved_cancellations(self):
+        q = EventQueue()
+        fired = []
+        events = [
+            q.schedule(t, lambda t=t: fired.append(t)) for t in range(1, 7)
+        ]
+        for event in events[::2]:  # cancel 1, 3, 5
+            q.cancel(event)
+        assert q.run(max_events=2) == 2
+        assert fired == [2, 4]
+        assert len(q) == 1  # 6 still queued
